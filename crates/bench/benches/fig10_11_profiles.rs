@@ -1,0 +1,20 @@
+//! Bench: Figs. 10/11 (profiled arrival patterns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::experiments::{arrival_profile_table, Quality};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_11");
+    g.sample_size(10);
+    g.bench_function("profile_8mib", |b| {
+        b.iter(|| black_box(arrival_profile_table(8 << 20, "Fig 10", Quality::quick())))
+    });
+    g.bench_function("profile_128mib", |b| {
+        b.iter(|| black_box(arrival_profile_table(128 << 20, "Fig 11", Quality::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Bench: Fig. 12 (minimum-delta estimation grid), reduced counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::experiments::{fig12_table, Quality};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("min_delta_grid_quick", |b| {
+        b.iter(|| black_box(fig12_table(Quality::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

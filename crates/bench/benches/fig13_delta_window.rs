@@ -1,0 +1,17 @@
+//! Bench: Fig. 13 (delta sensitivity window), reduced counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::experiments::{fig13_table, Quality};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("delta_window_quick", |b| {
+        b.iter(|| black_box(fig13_table(Quality::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

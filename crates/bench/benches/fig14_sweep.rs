@@ -1,0 +1,29 @@
+//! Bench: Fig. 14 (Sweep3D at 1024 simulated cores), one scenario, one
+//! message size, reduced counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_core::{AggregatorKind, PartixConfig, SimDuration};
+use partix_workloads::sweep::{run_sweep, SweepConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for kind in [AggregatorKind::Persistent, AggregatorKind::TimerPLogGp] {
+        g.bench_function(format!("sweep_1024c_1mib_{kind:?}").as_str(), |b| {
+            b.iter(|| {
+                let mut cfg =
+                    SweepConfig::paper_1024(PartixConfig::with_aggregator(kind), (1 << 20) / 16);
+                cfg.compute = SimDuration::from_millis(1);
+                cfg.noise_frac = 0.04;
+                cfg.warmup = 1;
+                cfg.iters = 2;
+                black_box(run_sweep(&cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Bench: regenerate Fig. 3 (PLogGP model curves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3_model_curves", |b| {
+        b.iter(|| black_box(partix_bench::experiments::fig3_table()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench: Fig. 6 (overhead sweep over transport partition counts), reduced
+//! iteration counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::experiments::{fig6_table, Quality};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("overhead_by_transport_quick", |b| {
+        b.iter(|| black_box(fig6_table(Quality::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

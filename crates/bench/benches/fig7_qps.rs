@@ -1,0 +1,17 @@
+//! Bench: Fig. 7 (overhead sweep over QP counts), reduced iteration counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::experiments::{fig7_table, Quality};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("overhead_by_qps_quick", |b| {
+        b.iter(|| black_box(fig7_table(Quality::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench: Fig. 8 (tuning-table vs PLogGP aggregators incl. the brute-force
+//! search), reduced iteration counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::experiments::{fig8_tables, Quality};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("aggregator_comparison_quick", |b| {
+        b.iter(|| black_box(fig8_tables(Quality::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Bench: Fig. 9 (perceived bandwidth across aggregators), reduced counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::experiments::{fig9_tables, Quality};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("perceived_bw_quick", |b| {
+        b.iter(|| black_box(fig9_tables(Quality::quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench: runtime hot paths on real threads (instant fabric): pready
+//! throughput, full-round latency, and the simulator's event rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_core::{AggregatorKind, PartixConfig, World};
+use partix_sim::{Scheduler, SimTime};
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion, kind: AggregatorKind) {
+    let world = World::instant(2, PartixConfig::with_aggregator(kind));
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let parts = 32u32;
+    let pb = 4096usize;
+    let sbuf = p0.alloc_buffer(parts as usize * pb).unwrap();
+    let rbuf = p1.alloc_buffer(parts as usize * pb).unwrap();
+    let send = p0.psend_init(&sbuf, parts, pb, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, parts, pb, 0, 0).unwrap();
+    c.bench_function(&format!("round_32x4k_{kind:?}"), |b| {
+        b.iter(|| {
+            recv.start().unwrap();
+            send.start().unwrap();
+            for i in 0..parts {
+                send.pready(i).unwrap();
+            }
+            send.wait().unwrap();
+            recv.wait().unwrap();
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler_100k_events", |b| {
+        b.iter(|| {
+            let sim = Scheduler::new();
+            for i in 0..100_000u64 {
+                sim.at(SimTime(i), || {});
+            }
+            black_box(sim.run())
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    bench_round(c, AggregatorKind::Persistent);
+    bench_round(c, AggregatorKind::PLogGp);
+    bench_scheduler(c);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

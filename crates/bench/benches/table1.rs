@@ -1,0 +1,13 @@
+//! Bench: regenerate Table I (pure model evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1_model_search", |b| {
+        b.iter(|| black_box(partix_bench::experiments::table1_table()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

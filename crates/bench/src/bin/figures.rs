@@ -1,0 +1,150 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--out DIR] [experiment ...]
+//! experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 | all
+//! ```
+//!
+//! Each experiment writes `<out>/<name>*.csv` and prints the aligned table
+//! plus headline observables to stdout. The defaults use the paper's
+//! iteration counts; `--quick` trims them for smoke runs.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use partix_bench::experiments::{self, Quality};
+use partix_bench::report::Table;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    which: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut quick = false;
+    let mut out = PathBuf::from("results");
+    let mut which = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --out requires a directory argument");
+                    std::process::exit(2);
+                };
+                out = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [--quick] [--out DIR] [table1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all ...]"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = [
+            "table1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "timeline", "check",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    Args { quick, out, which }
+}
+
+fn emit(args: &Args, slug: &str, table: &Table) {
+    let text = table.save(&args.out, slug).expect("write results");
+    println!("{text}");
+}
+
+fn main() {
+    let args = parse_args();
+    let q = if args.quick {
+        Quality::quick()
+    } else {
+        Quality::full()
+    };
+    println!(
+        "# partix figures — mode: {}, output: {}",
+        if args.quick {
+            "quick"
+        } else {
+            "full (paper iteration counts)"
+        },
+        args.out.display()
+    );
+
+    for which in &args.which {
+        let t0 = Instant::now();
+        match which.as_str() {
+            "table1" => emit(&args, "table1", &experiments::table1_table()),
+            "fig3" => emit(&args, "fig3", &experiments::fig3_table()),
+            "fig6" => emit(&args, "fig6", &experiments::fig6_table(q)),
+            "fig7" => emit(&args, "fig7", &experiments::fig7_table(q)),
+            "fig8" => {
+                for (i, t) in experiments::fig8_tables(q).iter().enumerate() {
+                    let parts = [4, 32, 128][i];
+                    emit(&args, &format!("fig8_p{parts}"), t);
+                }
+            }
+            "fig9" => {
+                for (i, t) in experiments::fig9_tables(q).iter().enumerate() {
+                    let parts = [16, 32][i];
+                    emit(&args, &format!("fig9_p{parts}"), t);
+                }
+            }
+            "fig10" => emit(
+                &args,
+                "fig10",
+                &experiments::arrival_profile_table(8 << 20, "Fig 10", q),
+            ),
+            "fig11" => emit(
+                &args,
+                "fig11",
+                &experiments::arrival_profile_table(128 << 20, "Fig 11", q),
+            ),
+            "fig12" => emit(&args, "fig12", &experiments::fig12_table(q)),
+            "check" => emit(&args, "check", &partix_bench::check::check_table(q)),
+            "plots" => {
+                let slugs =
+                    partix_bench::plots::write_plot_scripts(&args.out).expect("write scripts");
+                println!(
+                    "wrote {} gnuplot scripts to {} (render with: cd {} && gnuplot plot_*.gp)",
+                    slugs.len(),
+                    args.out.display(),
+                    args.out.display(),
+                );
+            }
+            "timeline" => {
+                std::fs::create_dir_all(&args.out).expect("results dir");
+                for kind in [
+                    partix_core::AggregatorKind::Persistent,
+                    partix_core::AggregatorKind::TimerPLogGp,
+                ] {
+                    let text = experiments::timeline_text(8 << 20, kind, q);
+                    let slug = format!("timeline_8mib_{kind:?}").to_lowercase();
+                    std::fs::write(args.out.join(format!("{slug}.txt")), &text)
+                        .expect("write timeline");
+                    println!("## Round timeline, 8 MiB, 32 partitions, {kind:?}\n{text}");
+                }
+            }
+            "fig13" => emit(&args, "fig13", &experiments::fig13_table(q)),
+            "fig14" => {
+                for (i, t) in experiments::fig14_tables(q).iter().enumerate() {
+                    let tag = ["a", "b", "c"][i];
+                    emit(&args, &format!("fig14{tag}"), t);
+                }
+            }
+            other => {
+                eprintln!("unknown experiment: {other} (see --help)");
+                continue;
+            }
+        }
+        eprintln!("[{which} done in {:.1?}]", t0.elapsed());
+    }
+}

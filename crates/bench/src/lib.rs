@@ -1,0 +1,14 @@
+//! # partix-bench
+//!
+//! Experiment harnesses and reporting for regenerating every table and
+//! figure of the paper's evaluation. The `figures` binary drives
+//! [`experiments`]; the Criterion benches under `benches/` time reduced
+//! versions of the same experiments.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod check;
+pub mod experiments;
+pub mod plots;
+pub mod report;

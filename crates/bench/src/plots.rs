@@ -1,0 +1,224 @@
+//! Gnuplot script generation: one `.gp` per figure, rendering the CSVs the
+//! `figures` binary writes. Scripts are self-contained (pngcairo terminal,
+//! CSV separator, log axes where the paper uses them) so
+//! `gnuplot results/plot_fig6.gp` produces `results/fig6.png`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One series of a plot: CSV column (1-based for gnuplot) and legend title.
+struct Series {
+    column: usize,
+    title: &'static str,
+}
+
+struct PlotSpec {
+    slug: &'static str,
+    csv: &'static str,
+    title: &'static str,
+    ylabel: &'static str,
+    logy: bool,
+    /// y = 1.0 guide line (speedup plots).
+    unity_line: bool,
+    series: Vec<Series>,
+}
+
+fn specs() -> Vec<PlotSpec> {
+    vec![
+        PlotSpec {
+            slug: "fig3",
+            csv: "fig3.csv",
+            title: "Fig 3: PLogGP modelled completion (4 ms laggard delay)",
+            ylabel: "modelled completion (ms)",
+            logy: true,
+            unity_line: false,
+            series: [3, 4, 5, 6, 7, 8]
+                .iter()
+                .zip(["T=1", "T=2", "T=4", "T=8", "T=16", "T=32"])
+                .map(|(c, t)| Series { column: *c, title: t })
+                .collect(),
+        },
+        PlotSpec {
+            slug: "fig6",
+            csv: "fig6.csv",
+            title: "Fig 6: overhead speedup vs persistent (32 partitions, 2 QPs)",
+            ylabel: "speedup over part\\_persist",
+            logy: false,
+            unity_line: true,
+            series: [3, 4, 5, 6, 7]
+                .iter()
+                .zip(["T=2", "T=4", "T=8", "T=16", "T=32"])
+                .map(|(c, t)| Series { column: *c, title: t })
+                .collect(),
+        },
+        PlotSpec {
+            slug: "fig7",
+            csv: "fig7.csv",
+            title: "Fig 7: overhead speedup vs persistent (16 partitions) by QP count",
+            ylabel: "speedup over part\\_persist",
+            logy: false,
+            unity_line: true,
+            series: [3, 4, 5, 6, 7]
+                .iter()
+                .zip(["1 QP", "2 QPs", "4 QPs", "8 QPs", "16 QPs"])
+                .map(|(c, t)| Series { column: *c, title: t })
+                .collect(),
+        },
+        PlotSpec {
+            slug: "fig8_p32",
+            csv: "fig8_p32.csv",
+            title: "Fig 8 (32 partitions): aggregators vs persistent",
+            ylabel: "speedup over part\\_persist",
+            logy: false,
+            unity_line: true,
+            series: vec![
+                Series { column: 3, title: "tuning table" },
+                Series { column: 4, title: "PLogGP" },
+            ],
+        },
+        PlotSpec {
+            slug: "fig8_p128",
+            csv: "fig8_p128.csv",
+            title: "Fig 8 (128 partitions, oversubscribed): aggregators vs persistent",
+            ylabel: "speedup over part\\_persist",
+            logy: false,
+            unity_line: true,
+            series: vec![
+                Series { column: 3, title: "tuning table" },
+                Series { column: 4, title: "PLogGP" },
+            ],
+        },
+        PlotSpec {
+            slug: "fig9_p32",
+            csv: "fig9_p32.csv",
+            title: "Fig 9 (32 partitions): perceived bandwidth, 100 ms compute, 4% noise",
+            ylabel: "perceived bandwidth (GB/s)",
+            logy: true,
+            unity_line: false,
+            series: vec![
+                Series { column: 3, title: "persistent" },
+                Series { column: 4, title: "PLogGP" },
+                Series { column: 5, title: "timer PLogGP" },
+                Series { column: 6, title: "hw pt2pt line" },
+            ],
+        },
+        PlotSpec {
+            slug: "fig12",
+            csv: "fig12.csv",
+            title: "Fig 12: estimated minimum delta",
+            ylabel: "minimum delta (us)",
+            logy: true,
+            unity_line: false,
+            series: [3, 4, 5, 6, 7, 8]
+                .iter()
+                .zip(["4", "8", "16", "32", "64", "128"])
+                .map(|(c, t)| Series { column: *c, title: t })
+                .collect(),
+        },
+        PlotSpec {
+            slug: "fig13",
+            csv: "fig13.csv",
+            title: "Fig 13: perceived bandwidth around the minimum delta (32 partitions)",
+            ylabel: "perceived bandwidth (GB/s)",
+            logy: true,
+            unity_line: false,
+            series: [3, 4, 5]
+                .iter()
+                .zip(["delta=10us", "delta=35us", "delta=100us"])
+                .map(|(c, t)| Series { column: *c, title: t })
+                .collect(),
+        },
+        PlotSpec {
+            slug: "fig14b",
+            csv: "fig14b.csv",
+            title: "Fig 14b: Sweep3D comm speedup, 1024 cores, 1 ms compute, 4% noise",
+            ylabel: "speedup over part\\_persist",
+            logy: false,
+            unity_line: true,
+            series: vec![
+                Series { column: 3, title: "PLogGP" },
+                Series { column: 4, title: "timer PLogGP" },
+            ],
+        },
+    ]
+}
+
+fn render(spec: &PlotSpec) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# Generated by `figures -- plots`; render with: gnuplot {}.gp", spec.slug);
+    let _ = writeln!(s, "set terminal pngcairo size 900,540 enhanced font 'sans,11'");
+    let _ = writeln!(s, "set output '{}.png'", spec.slug);
+    let _ = writeln!(s, "set datafile separator ','");
+    let _ = writeln!(s, "set title '{}'", spec.title);
+    let _ = writeln!(s, "set xlabel 'aggregate message size (bytes)'");
+    let _ = writeln!(s, "set ylabel '{}'", spec.ylabel);
+    let _ = writeln!(s, "set logscale x 2");
+    let _ = writeln!(s, "set format x '2^{{%L}}'");
+    if spec.logy {
+        let _ = writeln!(s, "set logscale y");
+    }
+    let _ = writeln!(s, "set key outside right");
+    let _ = writeln!(s, "set grid");
+    if spec.unity_line {
+        let _ = writeln!(s, "unity(x) = 1.0");
+    }
+    let mut terms: Vec<String> = spec
+        .series
+        .iter()
+        .map(|ser| {
+            format!(
+                "'{}' using 1:{} skip 1 with linespoints title '{}'",
+                spec.csv, ser.column, ser.title
+            )
+        })
+        .collect();
+    if spec.unity_line {
+        terms.push("unity(x) with lines dashtype 2 lc 'gray' title ''".to_string());
+    }
+    let _ = writeln!(s, "plot {}", terms.join(", \\\n     "));
+    s
+}
+
+/// Write every plot script into `dir`. Returns the slugs written.
+pub fn write_plot_scripts(dir: &Path) -> std::io::Result<Vec<&'static str>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for spec in specs() {
+        std::fs::write(dir.join(format!("plot_{}.gp", spec.slug)), render(&spec))?;
+        written.push(spec.slug);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_reference_existing_columns_and_files() {
+        for spec in specs() {
+            let text = render(&spec);
+            assert!(text.contains(&format!("set output '{}.png'", spec.slug)));
+            assert!(text.contains(spec.csv));
+            // Column 1 is the byte size; data columns start at 3 (column 2
+            // is the human-readable size label).
+            for ser in &spec.series {
+                assert!(ser.column >= 3, "{}: column {}", spec.slug, ser.column);
+                assert!(text.contains(&format!("using 1:{}", ser.column)));
+            }
+            // Speedup plots carry the unity guide.
+            assert_eq!(text.contains("unity(x)"), spec.unity_line);
+        }
+    }
+
+    #[test]
+    fn write_creates_all_scripts() {
+        let dir = std::env::temp_dir().join("partix_plot_test");
+        let slugs = write_plot_scripts(&dir).unwrap();
+        assert_eq!(slugs.len(), specs().len());
+        for slug in slugs {
+            assert!(dir.join(format!("plot_{slug}.gp")).exists());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

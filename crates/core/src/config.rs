@@ -1,0 +1,214 @@
+//! Runtime configuration.
+//!
+//! Mirrors the environment-variable fine-tuning knobs the paper mentions
+//! (§IV-A: transport partitions are invisible to the user "other than any
+//! environment variables we create for fine-tuning of our library").
+
+use std::sync::Arc;
+
+use partix_model::LogGpParams;
+use partix_sim::SimDuration;
+use partix_verbs::FabricParams;
+
+use crate::tuning::TuningTable;
+use crate::ucx::UcxModel;
+
+/// Which aggregation strategy a send request uses (paper §IV-B/C/D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregatorKind {
+    /// Baseline: one message per user partition through the Open MPI + UCX
+    /// software path (the `part_persist` analogue).
+    Persistent,
+    /// Brute-force tuning table lookup (§IV-B); falls back to PLogGP for
+    /// missing keys.
+    TuningTable,
+    /// PLogGP-model-driven aggregation (§IV-C).
+    PLogGp,
+    /// PLogGP grouping with the delta-timer arrival-pattern optimisation
+    /// (§IV-D).
+    TimerPLogGp,
+}
+
+impl AggregatorKind {
+    /// Parse the spelling used by the `PARTIX_AGGREGATOR` environment
+    /// variable.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "persistent" | "part_persist" => Some(AggregatorKind::Persistent),
+            "tuning" | "tuning_table" => Some(AggregatorKind::TuningTable),
+            "ploggp" => Some(AggregatorKind::PLogGp),
+            "timer" | "timer_ploggp" => Some(AggregatorKind::TimerPLogGp),
+            _ => None,
+        }
+    }
+}
+
+/// Full runtime configuration.
+#[derive(Clone)]
+pub struct PartixConfig {
+    /// Aggregation strategy.
+    pub aggregator: AggregatorKind,
+    /// Delta for the timer-based aggregator (paper §IV-D / Fig. 12-13).
+    pub delta: SimDuration,
+    /// Laggard-delay input to the PLogGP model when planning (paper uses
+    /// 4 ms, i.e. 4% noise on 100 ms compute).
+    pub decision_delay_ns: f64,
+    /// LogGP parameters the PLogGP planner uses (MPI-level; normally the
+    /// output of the Netgauge-style assessment).
+    pub model_params: LogGpParams,
+    /// Simulated fabric timing.
+    pub fabric: FabricParams,
+    /// Maximum QPs a channel may create.
+    pub max_qps_per_channel: u32,
+    /// QPs used by the persistent baseline (UCX drives more than one lane
+    /// per peer, which is how Open MPI reaches full link bandwidth for
+    /// large messages).
+    pub persistent_qps: u32,
+    /// CPU cost of posting one WR through our direct-verbs path (ns).
+    pub wr_post_cost_ns: u64,
+    /// CPU cost of retiring one receive completion in our direct-verbs path
+    /// (decode immediate, set arrival flags), serialised by the progress
+    /// engine (ns).
+    pub wr_recv_cost_ns: u64,
+    /// Modelled duration of the asynchronous QP exchange + RTR/RTS bring-up
+    /// (the `psend_init`/`precv_init` → first `start` readiness gap).
+    pub setup_delay: SimDuration,
+    /// UCX protocol cost model for the baseline.
+    pub ucx: UcxModel,
+    /// Tuning table for [`AggregatorKind::TuningTable`].
+    pub tuning_table: Option<Arc<TuningTable>>,
+    /// Online delta auto-tuning for the timer aggregator (the paper's
+    /// named future work, §IV-D): after each round, delta is reset to
+    /// `adaptive_delta_margin` times the observed spread between the first
+    /// and last non-laggard arrival (the paper's Fig. 12 estimator),
+    /// clamped to at least 1 us.
+    pub adaptive_delta: bool,
+    /// Safety margin applied to the measured arrival spread.
+    pub adaptive_delta_margin: f64,
+}
+
+impl Default for PartixConfig {
+    fn default() -> Self {
+        PartixConfig {
+            aggregator: AggregatorKind::PLogGp,
+            delta: SimDuration::from_micros(35),
+            decision_delay_ns: partix_model::DEFAULT_DECISION_DELAY_NS,
+            model_params: LogGpParams::niagara_mpi(),
+            fabric: FabricParams::default(),
+            max_qps_per_channel: 16,
+            persistent_qps: 2,
+            wr_post_cost_ns: 200,
+            wr_recv_cost_ns: 300,
+            setup_delay: SimDuration::from_micros(10),
+            ucx: UcxModel::default(),
+            tuning_table: None,
+            adaptive_delta: false,
+            adaptive_delta_margin: 1.2,
+        }
+    }
+}
+
+impl PartixConfig {
+    /// Default configuration with a chosen aggregator.
+    pub fn with_aggregator(aggregator: AggregatorKind) -> Self {
+        PartixConfig {
+            aggregator,
+            ..Default::default()
+        }
+    }
+
+    /// Apply `PARTIX_*` environment variable overrides:
+    ///
+    /// - `PARTIX_AGGREGATOR` = `persistent` | `tuning` | `ploggp` | `timer`
+    /// - `PARTIX_DELTA_US` — timer delta in microseconds
+    /// - `PARTIX_MAX_QPS` — per-channel QP cap
+    /// - `PARTIX_PERSISTENT_QPS` — baseline QP count
+    /// - `PARTIX_SETUP_DELAY_US` — modelled channel bring-up time
+    /// - `PARTIX_DECISION_DELAY_US` — PLogGP planning delay input
+    /// - `PARTIX_ADAPTIVE_DELTA` — `1`/`true` enables online delta tuning
+    ///
+    /// Unknown or malformed values are ignored (the variable keeps its
+    /// built-in default), matching typical MCA-parameter leniency.
+    pub fn apply_env(mut self) -> Self {
+        let get = |k: &str| std::env::var(k).ok();
+        if let Some(v) = get("PARTIX_AGGREGATOR").and_then(|s| AggregatorKind::parse(&s)) {
+            self.aggregator = v;
+        }
+        if let Some(v) = get("PARTIX_DELTA_US").and_then(|s| s.parse::<u64>().ok()) {
+            self.delta = SimDuration::from_micros(v);
+        }
+        if let Some(v) = get("PARTIX_MAX_QPS").and_then(|s| s.parse::<u32>().ok()) {
+            if v > 0 {
+                self.max_qps_per_channel = v;
+            }
+        }
+        if let Some(v) = get("PARTIX_PERSISTENT_QPS").and_then(|s| s.parse::<u32>().ok()) {
+            if v > 0 {
+                self.persistent_qps = v;
+            }
+        }
+        if let Some(v) = get("PARTIX_SETUP_DELAY_US").and_then(|s| s.parse::<u64>().ok()) {
+            self.setup_delay = SimDuration::from_micros(v);
+        }
+        if let Some(v) = get("PARTIX_DECISION_DELAY_US").and_then(|s| s.parse::<u64>().ok()) {
+            self.decision_delay_ns = v as f64 * 1_000.0;
+        }
+        if let Some(v) = get("PARTIX_ADAPTIVE_DELTA") {
+            self.adaptive_delta = matches!(v.as_str(), "1" | "true" | "yes" | "on");
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_parsing() {
+        assert_eq!(
+            AggregatorKind::parse("persistent"),
+            Some(AggregatorKind::Persistent)
+        );
+        assert_eq!(
+            AggregatorKind::parse("PLOGGP"),
+            Some(AggregatorKind::PLogGp)
+        );
+        assert_eq!(
+            AggregatorKind::parse("timer_ploggp"),
+            Some(AggregatorKind::TimerPLogGp)
+        );
+        assert_eq!(
+            AggregatorKind::parse("tuning_table"),
+            Some(AggregatorKind::TuningTable)
+        );
+        assert_eq!(AggregatorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = PartixConfig::default();
+        assert_eq!(c.aggregator, AggregatorKind::PLogGp);
+        assert!(c.max_qps_per_channel >= 1);
+        assert!(c.persistent_qps >= 1);
+        assert!(c.model_params.validate().is_ok());
+    }
+
+    #[test]
+    fn env_overrides() {
+        // Env vars are process-global; use unique names via a serial test.
+        std::env::set_var("PARTIX_AGGREGATOR", "timer");
+        std::env::set_var("PARTIX_DELTA_US", "123");
+        std::env::set_var("PARTIX_MAX_QPS", "7");
+        std::env::set_var("PARTIX_PERSISTENT_QPS", "0"); // invalid: ignored
+        let c = PartixConfig::default().apply_env();
+        assert_eq!(c.aggregator, AggregatorKind::TimerPLogGp);
+        assert_eq!(c.delta, SimDuration::from_micros(123));
+        assert_eq!(c.max_qps_per_channel, 7);
+        assert_eq!(c.persistent_qps, 2);
+        std::env::remove_var("PARTIX_AGGREGATOR");
+        std::env::remove_var("PARTIX_DELTA_US");
+        std::env::remove_var("PARTIX_MAX_QPS");
+        std::env::remove_var("PARTIX_PERSISTENT_QPS");
+    }
+}

@@ -1,0 +1,114 @@
+//! Runtime error types.
+
+use std::fmt;
+
+use partix_verbs::VerbsError;
+
+/// Errors surfaced by the partitioned-communication runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartixError {
+    /// Operation requires an active (started, not yet completed) request.
+    NotActive,
+    /// `start` called while the previous round is still in flight.
+    AlreadyActive,
+    /// Partition index out of range.
+    PartitionOutOfRange {
+        /// Index supplied.
+        index: u32,
+        /// Partition count of the request.
+        partitions: u32,
+    },
+    /// `pready` called twice for the same partition in one round.
+    DoublePready {
+        /// Offending partition.
+        index: u32,
+    },
+    /// The channel to the peer has not finished asynchronous setup. In
+    /// simulated mode, use `on_ready` to sequence; in instant mode this
+    /// only occurs before the matching init was posted by the peer.
+    ChannelNotReady,
+    /// Partition count of zero, or above the immediate-encoding limit
+    /// (u16::MAX, since the start index and run length are packed as two
+    /// u16s into the 32-bit immediate).
+    BadPartitionCount {
+        /// Requested count.
+        partitions: u32,
+    },
+    /// Partition size of zero bytes.
+    ZeroPartitionSize,
+    /// The registered buffer is smaller than `partitions * partition_bytes`.
+    BufferTooSmall {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The buffer belongs to a different node than the calling process.
+    WrongNode,
+    /// `wait` was called in simulated mode where blocking cannot advance
+    /// virtual time.
+    WouldBlockInSim,
+    /// A work request completed with an error status.
+    TransferFailed {
+        /// Human-readable status.
+        status: &'static str,
+    },
+    /// An underlying verbs call failed.
+    Verbs(VerbsError),
+}
+
+impl fmt::Display for PartixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartixError::NotActive => write!(f, "request not active; call start() first"),
+            PartixError::AlreadyActive => write!(f, "request already active"),
+            PartixError::PartitionOutOfRange { index, partitions } => {
+                write!(f, "partition {index} out of range (count {partitions})")
+            }
+            PartixError::DoublePready { index } => {
+                write!(f, "pready called twice for partition {index}")
+            }
+            PartixError::ChannelNotReady => write!(f, "channel setup not complete"),
+            PartixError::BadPartitionCount { partitions } => {
+                write!(
+                    f,
+                    "invalid partition count {partitions} (must be 1..=65535)"
+                )
+            }
+            PartixError::ZeroPartitionSize => write!(f, "partition size must be non-zero"),
+            PartixError::BufferTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "buffer too small: need {required} bytes, have {available}"
+            ),
+            PartixError::WrongNode => write!(f, "buffer registered on a different node"),
+            PartixError::WouldBlockInSim => {
+                write!(f, "wait() would block in simulated mode; use on_complete")
+            }
+            PartixError::TransferFailed { status } => {
+                write!(f, "transfer failed with status {status}")
+            }
+            PartixError::Verbs(e) => write!(f, "verbs error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartixError::Verbs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerbsError> for PartixError {
+    fn from(e: VerbsError) -> Self {
+        PartixError::Verbs(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PartixError>;

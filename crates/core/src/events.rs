@@ -1,0 +1,33 @@
+//! Instrumentation hooks (the PMPI-profiler attachment point).
+//!
+//! The paper builds a PMPI-based profiler that records when the program
+//! reaches `MPI_Start` and each `MPI_Pready` (§V-C2). `EventSink` is the
+//! equivalent seam: the runtime reports lifecycle events with virtual (or
+//! real) timestamps, and `partix-profiler` implements the sink.
+
+use partix_sim::SimTime;
+
+/// Receiver of runtime lifecycle events. All methods default to no-ops so
+/// sinks implement only what they need. Must be cheap: calls happen on hot
+/// paths.
+pub trait EventSink: Send + Sync {
+    /// A send request's round started (`MPI_Start` on the sender).
+    fn on_send_start(&self, _rank: u32, _req: u64, _round: u64, _t: SimTime) {}
+    /// A receive request's round started.
+    fn on_recv_start(&self, _rank: u32, _req: u64, _round: u64, _t: SimTime) {}
+    /// `pready` was called for a partition.
+    fn on_pready(&self, _rank: u32, _req: u64, _partition: u32, _t: SimTime) {}
+    /// A work request covering partitions `[lo, lo+count)` was posted.
+    fn on_wr_posted(&self, _rank: u32, _req: u64, _lo: u32, _count: u32, _t: SimTime) {}
+    /// A partition arrived at the receiver.
+    fn on_partition_arrived(&self, _rank: u32, _req: u64, _partition: u32, _t: SimTime) {}
+    /// A send request completed its round (all WRs acknowledged).
+    fn on_send_complete(&self, _rank: u32, _req: u64, _round: u64, _t: SimTime) {}
+    /// A receive request completed its round (all partitions arrived).
+    fn on_recv_complete(&self, _rank: u32, _req: u64, _round: u64, _t: SimTime) {}
+}
+
+/// A sink that ignores everything (the default).
+pub struct NullSink;
+
+impl EventSink for NullSink {}

@@ -1,0 +1,269 @@
+//! Transport planning: mapping user partitions to transport partitions and
+//! queue pairs (paper Fig. 4 and §IV-B/C/D).
+//!
+//! Transport partitions are contiguous, uniform, and aligned on
+//! `user_parts / transport_parts` boundaries (§IV-C). Groups are assigned to
+//! QPs round-robin.
+
+use partix_model::PLogGpModel;
+use partix_sim::SimDuration;
+
+use crate::config::{AggregatorKind, PartixConfig};
+
+/// The immutable transport layout chosen for a channel at init time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportPlan {
+    /// Aggregation strategy in force.
+    pub kind: AggregatorKind,
+    /// User partitions per transport partition (uniform).
+    pub group_size: u32,
+    /// Number of transport partitions.
+    pub groups: u32,
+    /// Number of QPs backing the channel.
+    pub qp_count: u32,
+    /// Delta for the timer aggregator; `None` disables the timer.
+    pub timer_delta: Option<SimDuration>,
+}
+
+impl TransportPlan {
+    /// Total user partitions covered.
+    pub fn user_partitions(&self) -> u32 {
+        self.group_size * self.groups
+    }
+
+    /// Transport group containing user partition `i`.
+    #[inline]
+    pub fn group_of(&self, i: u32) -> u32 {
+        i / self.group_size
+    }
+
+    /// User-partition range of group `g`.
+    #[inline]
+    pub fn range_of(&self, g: u32) -> std::ops::Range<u32> {
+        g * self.group_size..(g + 1) * self.group_size
+    }
+
+    /// QP index serving group `g` (round-robin).
+    #[inline]
+    pub fn qp_of(&self, g: u32) -> u32 {
+        g % self.qp_count
+    }
+
+    /// Upper bound on incoming write-with-immediate WRs that QP `q` can see
+    /// in one round: the timer aggregator may split a group into up to
+    /// `group_size` single-partition writes, so the receiver pre-posts that
+    /// many receive WRs.
+    pub fn max_incoming_wrs(&self, q: u32) -> u32 {
+        let groups_on_q = (0..self.groups).filter(|g| self.qp_of(*g) == q).count() as u32;
+        groups_on_q * self.group_size
+    }
+}
+
+/// Largest power of two that divides `n`.
+fn pow2_divisor(n: u32) -> u32 {
+    debug_assert!(n > 0);
+    1 << n.trailing_zeros()
+}
+
+/// Compute the transport plan for a channel of `partitions` user partitions
+/// of `part_bytes` bytes each.
+pub fn plan_for(config: &PartixConfig, partitions: u32, part_bytes: usize) -> TransportPlan {
+    debug_assert!(partitions >= 1);
+    let total = partitions as usize * part_bytes;
+    match config.aggregator {
+        AggregatorKind::Persistent => TransportPlan {
+            kind: AggregatorKind::Persistent,
+            group_size: 1,
+            groups: partitions,
+            qp_count: config.persistent_qps.clamp(1, partitions.max(1)),
+            timer_delta: None,
+        },
+        AggregatorKind::TuningTable => {
+            if let Some((t, q)) = config
+                .tuning_table
+                .as_ref()
+                .and_then(|tab| tab.lookup(partitions, total as u64))
+            {
+                let t = clamp_transport(t, partitions);
+                TransportPlan {
+                    kind: AggregatorKind::TuningTable,
+                    group_size: partitions / t,
+                    groups: t,
+                    qp_count: q.clamp(1, config.max_qps_per_channel),
+                    timer_delta: None,
+                }
+            } else {
+                // Missing key: fall back to the model (the paper's table
+                // covered only the searched subset of the space).
+                let mut plan = model_plan(config, partitions, total);
+                plan.kind = AggregatorKind::TuningTable;
+                plan
+            }
+        }
+        AggregatorKind::PLogGp => model_plan(config, partitions, total),
+        AggregatorKind::TimerPLogGp => {
+            let mut plan = model_plan(config, partitions, total);
+            plan.kind = AggregatorKind::TimerPLogGp;
+            // A timer only makes sense when a group aggregates more than one
+            // user partition.
+            if plan.group_size > 1 {
+                plan.timer_delta = Some(config.delta);
+            }
+            plan
+        }
+    }
+}
+
+/// Clamp a requested transport count to a power of two that divides the
+/// user partition count (the paper restricts both to powers of two; for
+/// non-power-of-two user counts we keep groups uniform by clamping to the
+/// largest dividing power of two).
+fn clamp_transport(requested: u32, partitions: u32) -> u32 {
+    let max_t = pow2_divisor(partitions);
+    let mut t = requested.max(1).min(partitions);
+    if !t.is_power_of_two() {
+        t = (t + 1).next_power_of_two() / 2; // round down to a power of two
+    }
+    t.min(max_t)
+}
+
+fn model_plan(config: &PartixConfig, partitions: u32, total: usize) -> TransportPlan {
+    let model = PLogGpModel::new(config.model_params);
+    let opt = model.optimal_transport_partitions(
+        total.max(1),
+        pow2_divisor(partitions),
+        config.decision_delay_ns,
+    );
+    let t = clamp_transport(opt, partitions);
+    TransportPlan {
+        kind: AggregatorKind::PLogGp,
+        group_size: partitions / t,
+        groups: t,
+        qp_count: t.min(config.max_qps_per_channel),
+        timer_delta: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuning::TuningTable;
+    use std::sync::Arc;
+
+    fn cfg(kind: AggregatorKind) -> PartixConfig {
+        PartixConfig::with_aggregator(kind)
+    }
+
+    #[test]
+    fn persistent_is_one_group_per_partition() {
+        let p = plan_for(&cfg(AggregatorKind::Persistent), 32, 4096);
+        assert_eq!(p.group_size, 1);
+        assert_eq!(p.groups, 32);
+        assert_eq!(p.qp_count, 2, "baseline drives two UCX lanes");
+        assert_eq!(p.timer_delta, None);
+        assert_eq!(p.user_partitions(), 32);
+    }
+
+    #[test]
+    fn ploggp_small_message_fully_aggregates() {
+        // 32 x 512 B = 16 KiB: Table I says one transport partition.
+        let p = plan_for(&cfg(AggregatorKind::PLogGp), 32, 512);
+        assert_eq!(p.groups, 1);
+        assert_eq!(p.group_size, 32);
+        assert_eq!(p.qp_count, 1);
+    }
+
+    #[test]
+    fn ploggp_large_message_splits() {
+        // 32 x 4 MiB = 128 MiB: Table I says 32 transport partitions.
+        let p = plan_for(&cfg(AggregatorKind::PLogGp), 32, 4 << 20);
+        assert_eq!(p.groups, 32);
+        assert_eq!(p.group_size, 1);
+        assert_eq!(p.qp_count, 16, "capped by max_qps_per_channel");
+    }
+
+    #[test]
+    fn ploggp_clamps_to_user_request() {
+        // 4 partitions of 32 MiB: the model wants 32 but only 4 exist.
+        let p = plan_for(&cfg(AggregatorKind::PLogGp), 4, 32 << 20);
+        assert_eq!(p.groups, 4);
+        assert_eq!(p.group_size, 1);
+    }
+
+    #[test]
+    fn timer_gets_delta_only_when_aggregating() {
+        let mut c = cfg(AggregatorKind::TimerPLogGp);
+        c.delta = SimDuration::from_micros(100);
+        // Aggregating case: small message.
+        let p = plan_for(&c, 32, 512);
+        assert_eq!(p.timer_delta, Some(SimDuration::from_micros(100)));
+        // Non-aggregating case (group_size == 1): timer pointless.
+        let p = plan_for(&c, 32, 4 << 20);
+        assert_eq!(p.group_size, 1);
+        assert_eq!(p.timer_delta, None);
+    }
+
+    #[test]
+    fn tuning_table_lookup_used() {
+        let mut tab = TuningTable::new();
+        tab.insert(32, 32 * 4096, 8, 4);
+        let mut c = cfg(AggregatorKind::TuningTable);
+        c.tuning_table = Some(Arc::new(tab));
+        let p = plan_for(&c, 32, 4096);
+        assert_eq!(p.groups, 8);
+        assert_eq!(p.group_size, 4);
+        assert_eq!(p.qp_count, 4);
+    }
+
+    #[test]
+    fn tuning_table_missing_key_falls_back_to_model() {
+        let c = cfg(AggregatorKind::TuningTable); // no table at all
+        let p = plan_for(&c, 32, 512);
+        assert_eq!(
+            p.groups, 1,
+            "model fallback should aggregate small messages"
+        );
+        assert_eq!(p.kind, AggregatorKind::TuningTable);
+    }
+
+    #[test]
+    fn non_power_of_two_partitions_stay_uniform() {
+        let p = plan_for(&cfg(AggregatorKind::PLogGp), 12, 4 << 20);
+        // 12 = 4 * 3: at most 4 transport partitions keep groups uniform.
+        assert!(p.groups <= 4);
+        assert_eq!(p.groups * p.group_size, 12);
+        // Odd partition count: only full aggregation divides evenly.
+        let p = plan_for(&cfg(AggregatorKind::PLogGp), 7, 4 << 20);
+        assert_eq!(p.groups, 1);
+        assert_eq!(p.group_size, 7);
+    }
+
+    #[test]
+    fn group_mapping_helpers() {
+        let p = TransportPlan {
+            kind: AggregatorKind::PLogGp,
+            group_size: 4,
+            groups: 8,
+            qp_count: 3,
+            timer_delta: None,
+        };
+        assert_eq!(p.group_of(0), 0);
+        assert_eq!(p.group_of(5), 1);
+        assert_eq!(p.group_of(31), 7);
+        assert_eq!(p.range_of(2), 8..12);
+        assert_eq!(p.qp_of(0), 0);
+        assert_eq!(p.qp_of(5), 2);
+        // QP 0 serves groups 0, 3, 6 -> up to 12 incoming WRs.
+        assert_eq!(p.max_incoming_wrs(0), 12);
+        assert_eq!(p.max_incoming_wrs(2), 8);
+    }
+
+    #[test]
+    fn pow2_divisor_cases() {
+        assert_eq!(pow2_divisor(1), 1);
+        assert_eq!(pow2_divisor(7), 1);
+        assert_eq!(pow2_divisor(12), 4);
+        assert_eq!(pow2_divisor(32), 32);
+        assert_eq!(pow2_divisor(96), 32);
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-process runtime state and the progress engine.
+//!
+//! The progress engine is single-threaded by construction (paper §IV-A):
+//! callers attempt to acquire a try-lock; the winner polls all CQs until
+//! quiescent and drains software-pending WRs, everyone else returns
+//! immediately.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use partix_sim::{SerialResource, SimTime, TimeSource};
+use partix_verbs::{CompletionQueue, Context, ProtectionDomain, VerbsError, WorkCompletion};
+
+use crate::config::PartixConfig;
+use crate::events::EventSink;
+use crate::request::{RecvShared, SendShared};
+
+/// Shared handle to the (optional) event sink.
+pub(crate) type SinkHandle = Arc<Mutex<Option<Arc<dyn EventSink>>>>;
+
+/// Internal per-rank state.
+pub(crate) struct ProcInner {
+    pub rank: u32,
+    pub ctx: Context,
+    pub pd: ProtectionDomain,
+    pub send_cq: Arc<CompletionQueue>,
+    pub recv_cq: Arc<CompletionQueue>,
+    pub config: PartixConfig,
+    pub time: TimeSource,
+    pub sim_mode: bool,
+    pub sink: SinkHandle,
+    pub progress_lock: Mutex<()>,
+    pub pending_sends: Mutex<HashMap<u64, Arc<SendShared>>>,
+    pub pending_recvs: Mutex<HashMap<u64, Arc<RecvShared>>>,
+    pub wr_seq: AtomicU64,
+    /// Send requests whose channels may hold software-pending WRs.
+    pub drainable: Mutex<Vec<Weak<SendShared>>>,
+    /// The UCX worker lock of the persistent baseline, as a virtual-time
+    /// serial resource (multi-threaded posts queue here — paper §V-B2).
+    pub ucx_lock: Arc<SerialResource>,
+    /// The receive-side software path (single-threaded progress engine), as
+    /// a virtual-time serial resource: each incoming completion costs
+    /// per-message CPU before its arrival flags become visible.
+    pub recv_path: Arc<SerialResource>,
+}
+
+impl ProcInner {
+    /// Allocate a WR identifier unique within this process.
+    pub(crate) fn next_wr_id(&self) -> u64 {
+        self.wr_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Report an event to the installed sink, if any.
+    pub(crate) fn emit(&self, f: impl FnOnce(&dyn EventSink, SimTime)) {
+        let sink = self.sink.lock().clone();
+        if let Some(s) = sink {
+            f(&*s, self.time.now());
+        }
+    }
+
+    /// Drive the progress engine if no one else currently is (the paper's
+    /// single-threaded try-lock design).
+    pub(crate) fn try_progress(self: &Arc<Self>) {
+        let Some(_guard) = self.progress_lock.try_lock() else {
+            return;
+        };
+        let mut buf: Vec<WorkCompletion> = Vec::with_capacity(64);
+        loop {
+            let mut advanced = false;
+
+            buf.clear();
+            self.send_cq.poll(64, &mut buf);
+            advanced |= !buf.is_empty();
+            for wc in buf.drain(..) {
+                self.dispatch_send_wc(wc);
+            }
+
+            self.recv_cq.poll(64, &mut buf);
+            advanced |= !buf.is_empty();
+            for wc in buf.drain(..) {
+                self.dispatch_recv_wc(wc);
+            }
+
+            advanced |= self.drain_pending() > 0;
+            if !advanced {
+                break;
+            }
+        }
+    }
+
+    fn dispatch_send_wc(self: &Arc<Self>, wc: WorkCompletion) {
+        let state = self.pending_sends.lock().remove(&wc.wr_id);
+        match state {
+            Some(s) => s.on_wr_complete(wc),
+            None => debug_assert!(false, "send completion for unknown WR {}", wc.wr_id),
+        }
+    }
+
+    fn dispatch_recv_wc(self: &Arc<Self>, wc: WorkCompletion) {
+        let state = self.pending_recvs.lock().remove(&wc.wr_id);
+        match state {
+            Some(r) => r.on_incoming(wc),
+            None => debug_assert!(false, "recv completion for unknown WR {}", wc.wr_id),
+        }
+    }
+
+    /// Re-post software-pending WRs that were deferred by the hardware
+    /// outstanding-WR cap. Returns how many posts succeeded.
+    fn drain_pending(&self) -> usize {
+        let mut posted = 0;
+        let mut drainable = self.drainable.lock();
+        drainable.retain(|w| w.upgrade().is_some());
+        let strong: Vec<Arc<SendShared>> = drainable.iter().filter_map(|w| w.upgrade()).collect();
+        drop(drainable);
+        for s in strong {
+            let Some(ch) = s.channel.get() else { continue };
+            loop {
+                let Some(p) = ch.pending.lock().pop_front() else {
+                    break;
+                };
+                match ch.qps[p.qp_idx as usize].post_send_with(p.wr.clone(), p.opts) {
+                    Ok(()) => posted += 1,
+                    Err(VerbsError::SendQueueFull { .. }) => {
+                        ch.pending.lock().push_front(p);
+                        break;
+                    }
+                    Err(e) => panic!("unexpected verbs failure draining pending WRs: {e}"),
+                }
+            }
+        }
+        posted
+    }
+}

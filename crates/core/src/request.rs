@@ -1,0 +1,668 @@
+//! Partitioned send/receive request state and the aggregation policies.
+//!
+//! This is the paper's §IV-A data path:
+//!
+//! - `pready` executes an atomic add-and-fetch on per-transport-partition
+//!   arrival counters; the arrival that completes a transport partition
+//!   posts the `IBV_WR_RDMA_WRITE_WITH_IMM` work request;
+//! - the immediate value encodes `(starting user partition, contiguous run
+//!   length)` as two packed u16s;
+//! - receive completions decode the immediate and set per-partition arrival
+//!   flags (`Release` on the writer, `Acquire` in `parrived`);
+//! - the timer-based aggregator (§IV-D) arms a δ-timer at the first arrival
+//!   of a group, flushes the arrived subset as maximal contiguous runs on
+//!   expiry, and lets post-flush arrivals send their own runs.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use partix_sim::{SimDuration, SimTime};
+use partix_verbs::{
+    imm, MemoryRegion, Opcode, PostOptions, QueuePair, SendWr, Sge, VerbsError, WcStatus,
+    WorkCompletion,
+};
+
+use crate::config::AggregatorKind;
+use crate::error::{PartixError, Result};
+use crate::plan::TransportPlan;
+use crate::proc::ProcInner;
+
+/// Group phase for the timer aggregator.
+const PHASE_COLLECTING: u8 = 0;
+const PHASE_SENT_ALL: u8 = 1;
+const PHASE_FLUSHED: u8 = 2;
+
+/// Per-transport-partition state.
+pub(crate) struct GroupState {
+    /// User partitions covered.
+    pub range: Range<u32>,
+    /// Arrivals so far this round.
+    pub arrived: AtomicU32,
+    /// Timer-aggregator phase.
+    pub phase: AtomicU8,
+    /// Serialises flush-path scanning.
+    pub lock: Mutex<()>,
+}
+
+/// A WR that hit the hardware outstanding cap and waits for a free slot.
+pub(crate) struct PendingPost {
+    pub qp_idx: u32,
+    pub wr: SendWr,
+    pub opts: PostOptions,
+}
+
+/// Wire resources of a matched send request.
+pub(crate) struct SendChannel {
+    pub plan: TransportPlan,
+    pub qps: Vec<Arc<QueuePair>>,
+    pub remote_addr: u64,
+    pub remote_rkey: u32,
+    pub groups: Vec<GroupState>,
+    pub pending: Mutex<VecDeque<PendingPost>>,
+    /// Live delta for the timer aggregator (ns); seeded from the plan and
+    /// rewritten each round when adaptive tuning is on.
+    pub delta_ns: AtomicU64,
+}
+
+impl SendChannel {
+    /// Current timer delta, if this channel aggregates with a timer.
+    pub(crate) fn current_delta(&self) -> Option<SimDuration> {
+        self.plan.timer_delta?;
+        Some(SimDuration::from_nanos(
+            self.delta_ns.load(Ordering::Acquire),
+        ))
+    }
+}
+
+/// Shared state of a partitioned send request.
+pub(crate) struct SendShared {
+    pub id: u64,
+    pub proc: Arc<ProcInner>,
+    pub partitions: u32,
+    pub part_bytes: usize,
+    pub mr: MemoryRegion,
+    pub dest: u32,
+    pub tag: u32,
+    pub channel: OnceLock<Arc<SendChannel>>,
+    pub ready: AtomicBool,
+    pub ready_cbs: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
+    pub active: AtomicBool,
+    pub round: AtomicU64,
+    pub arrived: Box<[AtomicU8]>,
+    pub sent: Box<[AtomicU8]>,
+    pub pready_count: AtomicU32,
+    pub sent_count: AtomicU32,
+    pub wr_posted: AtomicU32,
+    pub wr_completed: AtomicU32,
+    pub wr_posted_total: AtomicU64,
+    pub completed_rounds: AtomicU64,
+    pub complete_cbs: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
+    pub error: OnceLock<&'static str>,
+    /// Per-round pready timestamps (populated only under adaptive delta).
+    pub arrival_log: Mutex<Vec<u64>>,
+}
+
+impl SendShared {
+    pub(crate) fn channel(&self) -> Result<&Arc<SendChannel>> {
+        if !self.ready.load(Ordering::Acquire) {
+            return Err(PartixError::ChannelNotReady);
+        }
+        self.channel.get().ok_or(PartixError::ChannelNotReady)
+    }
+
+    /// Mark the channel ready (flag only; see [`Self::fire_ready`]).
+    pub(crate) fn set_ready(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Fire deferred readiness callbacks. Both ends of a channel are
+    /// flagged ready before either end's callbacks run, so a callback can
+    /// start both requests.
+    pub(crate) fn fire_ready(&self) {
+        debug_assert!(self.ready.load(Ordering::Acquire));
+        let cbs = std::mem::take(&mut *self.ready_cbs.lock());
+        for cb in cbs {
+            cb();
+        }
+    }
+
+    /// Begin a round.
+    pub(crate) fn start(self: &Arc<Self>) -> Result<()> {
+        let ch = self.channel()?.clone();
+        if self.active.swap(true, Ordering::AcqRel) {
+            return Err(PartixError::AlreadyActive);
+        }
+        for f in self.arrived.iter() {
+            f.store(0, Ordering::Relaxed);
+        }
+        for f in self.sent.iter() {
+            f.store(0, Ordering::Relaxed);
+        }
+        for g in &ch.groups {
+            g.arrived.store(0, Ordering::Relaxed);
+            g.phase.store(PHASE_COLLECTING, Ordering::Relaxed);
+        }
+        self.pready_count.store(0, Ordering::Relaxed);
+        self.sent_count.store(0, Ordering::Relaxed);
+        self.wr_posted.store(0, Ordering::Relaxed);
+        self.wr_completed.store(0, Ordering::Release);
+        self.arrival_log.lock().clear();
+        let round = self.round.fetch_add(1, Ordering::AcqRel) + 1;
+        self.proc
+            .emit(|s, t| s.on_send_start(self.proc.rank, self.id, round, t));
+        Ok(())
+    }
+
+    /// Mark user partition `i` ready for transfer.
+    pub(crate) fn pready(self: &Arc<Self>, i: u32) -> Result<()> {
+        if !self.active.load(Ordering::Acquire) {
+            return Err(PartixError::NotActive);
+        }
+        if i >= self.partitions {
+            return Err(PartixError::PartitionOutOfRange {
+                index: i,
+                partitions: self.partitions,
+            });
+        }
+        if self.arrived[i as usize].swap(1, Ordering::AcqRel) == 1 {
+            return Err(PartixError::DoublePready { index: i });
+        }
+        self.proc
+            .emit(|s, t| s.on_pready(self.proc.rank, self.id, i, t));
+        self.pready_count.fetch_add(1, Ordering::AcqRel);
+        if self.proc.config.adaptive_delta {
+            self.arrival_log
+                .lock()
+                .push(self.proc.time.now().as_nanos());
+        }
+        let ch = self.channel()?.clone();
+        let g = ch.plan.group_of(i);
+        match ch.current_delta() {
+            None => self.counting_pready(&ch, g),
+            Some(delta) => self.timer_pready(&ch, g, i, delta),
+        }
+        // This pready may have posted nothing (a concurrent flush already
+        // covered the partition) while every WR ack has already been
+        // retired; re-evaluate completion so the round cannot be left
+        // complete-but-undetected.
+        self.maybe_complete();
+        Ok(())
+    }
+
+    /// Non-timer policies: the arrival completing the group posts it whole.
+    fn counting_pready(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32) {
+        let grp = &ch.groups[g as usize];
+        let n = grp.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == ch.plan.group_size {
+            self.post_range(ch, g, ch.plan.range_of(g));
+        }
+    }
+
+    /// Timer policy (paper §IV-D).
+    fn timer_pready(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32, i: u32, delta: SimDuration) {
+        let grp = &ch.groups[g as usize];
+        let len = ch.plan.group_size;
+        let n = grp.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+
+        if n == len {
+            // Last arrival: if the delta timer has not flushed yet, the last
+            // thread aggregates and sends the whole group (the delta_a case
+            // of the paper's Fig. 5).
+            if grp
+                .phase
+                .compare_exchange(
+                    PHASE_COLLECTING,
+                    PHASE_SENT_ALL,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.post_range(ch, g, ch.plan.range_of(g));
+                return;
+            }
+            // Already flushed: fall through and send our own run.
+        } else if n == 1 {
+            // First arrival arms the timer (it "sleeps" for at most delta).
+            let weak = Arc::downgrade(self);
+            let ch2 = ch.clone();
+            let round = self.round.load(Ordering::Acquire);
+            self.proc.time.schedule(
+                delta,
+                Box::new(move || {
+                    if let Some(s) = weak.upgrade() {
+                        s.flush_group(&ch2, g, round);
+                    }
+                }),
+            );
+        }
+
+        if grp.phase.load(Ordering::Acquire) == PHASE_FLUSHED {
+            // Post-flush arrival: send the maximal contiguous run of
+            // arrived-but-unsent partitions containing `i` (the delta_b case:
+            // the laggard sends its own partition).
+            self.post_runs(ch, g, Some(i));
+        }
+    }
+
+    /// Delta-timer expiry: flush the arrived subset of group `g` as maximal
+    /// contiguous runs.
+    fn flush_group(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32, armed_round: u64) {
+        if !self.active.load(Ordering::Acquire) || self.round.load(Ordering::Acquire) != armed_round
+        {
+            return; // stale timer from a finished round
+        }
+        let grp = &ch.groups[g as usize];
+        if grp
+            .phase
+            .compare_exchange(
+                PHASE_COLLECTING,
+                PHASE_FLUSHED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return; // the whole group was already sent
+        }
+        self.post_runs(ch, g, None);
+    }
+
+    /// Under the group lock, post maximal contiguous runs of arrived &&
+    /// unsent partitions. With `containing = Some(i)`, only the run holding
+    /// `i` is posted (post-flush arrivals); with `None`, all runs are (the
+    /// flush itself).
+    fn post_runs(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32, containing: Option<u32>) {
+        let grp = &ch.groups[g as usize];
+        let _guard = grp.lock.lock();
+        let range = grp.range.clone();
+        let eligible = |p: u32| -> bool {
+            self.arrived[p as usize].load(Ordering::Acquire) == 1
+                && self.sent[p as usize].load(Ordering::Acquire) == 0
+        };
+        let mut runs: Vec<Range<u32>> = Vec::new();
+        let mut cursor = range.start;
+        while cursor < range.end {
+            if !eligible(cursor) {
+                cursor += 1;
+                continue;
+            }
+            let lo = cursor;
+            while cursor < range.end && eligible(cursor) {
+                cursor += 1;
+            }
+            runs.push(lo..cursor);
+        }
+        for run in runs {
+            if let Some(i) = containing {
+                if !(run.start <= i && i < run.end) {
+                    continue;
+                }
+            }
+            self.post_range(ch, g, run);
+        }
+    }
+
+    /// Post one RDMA-write-with-immediate covering user partitions `range`.
+    fn post_range(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32, range: Range<u32>) {
+        let lo = range.start;
+        let len = range.end - range.start;
+        debug_assert!(len >= 1);
+        for p in range.clone() {
+            let was = self.sent[p as usize].swap(1, Ordering::AcqRel);
+            debug_assert_eq!(was, 0, "partition {p} posted twice");
+        }
+        self.sent_count.fetch_add(len, Ordering::AcqRel);
+        self.wr_posted.fetch_add(1, Ordering::AcqRel);
+        self.wr_posted_total.fetch_add(1, Ordering::Relaxed);
+        self.proc
+            .emit(|s, t| s.on_wr_posted(self.proc.rank, self.id, lo, len, t));
+
+        let bytes = len as usize * self.part_bytes;
+        let byte_lo = lo as usize * self.part_bytes;
+        let wr_id = self.proc.next_wr_id();
+        self.proc.pending_sends.lock().insert(wr_id, self.clone());
+        let wr = SendWr {
+            wr_id,
+            opcode: Opcode::RdmaWriteWithImm,
+            sg_list: vec![Sge {
+                addr: self.mr.addr_at(byte_lo),
+                length: bytes as u32,
+                lkey: self.mr.lkey(),
+            }],
+            remote_addr: ch.remote_addr + byte_lo as u64,
+            rkey: ch.remote_rkey,
+            imm: Some(imm::encode(lo as u16, len as u16)),
+            // The paper's module does not use inlining (§IV-A).
+            inline_data: false,
+        };
+        let opts = self.post_options(bytes);
+        let qp_idx = ch.plan.qp_of(g);
+        self.submit(ch, qp_idx, wr, opts);
+    }
+
+    /// Hand a WR to the QP, spilling to the channel's software pending queue
+    /// when the hardware outstanding cap is hit (drained from progress).
+    pub(crate) fn submit(&self, ch: &SendChannel, qp_idx: u32, wr: SendWr, opts: PostOptions) {
+        match ch.qps[qp_idx as usize].post_send_with(wr.clone(), opts) {
+            Ok(()) => {}
+            Err(VerbsError::SendQueueFull { .. }) => {
+                ch.pending
+                    .lock()
+                    .push_back(PendingPost { qp_idx, wr, opts });
+            }
+            Err(VerbsError::InvalidQpState {
+                actual: partix_verbs::QpState::Error,
+                ..
+            }) => {
+                // The QP died under an earlier failed WR. No completion will
+                // ever come for this post: poison the request and account the
+                // WR as retired so the round terminates.
+                let _ = self.error.set("queue pair in error state");
+                self.proc.pending_sends.lock().remove(&wr.wr_id);
+                self.wr_completed.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(e) => panic!("unexpected verbs failure on partitioned post: {e}"),
+        }
+    }
+
+    /// Software-path cost model for this policy (only in simulated mode).
+    fn post_options(&self, bytes: usize) -> PostOptions {
+        if !self.proc.sim_mode {
+            return PostOptions::default();
+        }
+        let now = self.proc.time.now();
+        let cfg = &self.proc.config;
+        let plan_kind = self
+            .channel
+            .get()
+            .map(|c| c.plan.kind)
+            .unwrap_or(cfg.aggregator);
+        match plan_kind {
+            AggregatorKind::Persistent => {
+                // The Open MPI + UCX path: per-message protocol CPU work
+                // serialised by the UCX worker lock; oversubscribed posting
+                // threads (one per partition in the paper's benchmarks)
+                // convoy on the lock.
+                let cost = cfg.ucx.cost(bytes, cfg.fabric.loggp.l);
+                let convoy = cfg.ucx.convoy_factor(self.partitions);
+                let hold = SimDuration::from_nanos_f64(cost.locked_cpu_ns as f64 * convoy);
+                let (_start, end) = self.proc.ucx_lock.reserve(now, hold);
+                PostOptions {
+                    earliest: Some(end),
+                    extra_wire_latency: SimDuration::from_nanos(cost.extra_latency_ns),
+                    small_lane: cost.small_lane,
+                }
+            }
+            _ => PostOptions {
+                // Our direct-verbs module: a short lock-free post path, but
+                // no inline/BlueFlame fast lane (paper §IV-A).
+                earliest: Some(now + SimDuration::from_nanos(cfg.wr_post_cost_ns)),
+                extra_wire_latency: SimDuration::ZERO,
+                small_lane: false,
+            },
+        }
+    }
+
+    /// A send-side work completion arrived.
+    pub(crate) fn on_wr_complete(self: &Arc<Self>, wc: WorkCompletion) {
+        if wc.status != WcStatus::Success {
+            let msg = match wc.status {
+                WcStatus::RemoteAccessError => "remote access error",
+                WcStatus::RnrRetryExceeded => "receiver not ready",
+                WcStatus::LocalLengthError => "payload exceeded receive space",
+                WcStatus::Success => unreachable!(),
+            };
+            let _ = self.error.set(msg);
+        }
+        self.wr_completed.fetch_add(1, Ordering::AcqRel);
+        self.maybe_complete();
+    }
+
+    /// Complete the round once every partition was marked ready, every byte
+    /// was posted, and every WR was acknowledged.
+    pub(crate) fn maybe_complete(self: &Arc<Self>) {
+        if !self.active.load(Ordering::Acquire) {
+            return;
+        }
+        if self.pready_count.load(Ordering::Acquire) != self.partitions
+            || self.sent_count.load(Ordering::Acquire) != self.partitions
+        {
+            return;
+        }
+        let posted = self.wr_posted.load(Ordering::Acquire);
+        if self.wr_completed.load(Ordering::Acquire) != posted {
+            return;
+        }
+        if self
+            .active
+            .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            if self.proc.config.adaptive_delta {
+                self.adapt_delta();
+            }
+            let round = self.round.load(Ordering::Acquire);
+            self.completed_rounds.fetch_add(1, Ordering::AcqRel);
+            self.proc
+                .emit(|s, t| s.on_send_complete(self.proc.rank, self.id, round, t));
+            let cbs = std::mem::take(&mut *self.complete_cbs.lock());
+            for cb in cbs {
+                cb();
+            }
+        }
+    }
+
+    /// Online delta tuning (the paper's future work): set the next round's
+    /// delta to `margin * (last non-laggard arrival - first arrival)` —
+    /// exactly the paper's Fig. 12 minimum-delta estimator, applied per
+    /// round.
+    fn adapt_delta(&self) {
+        let Some(ch) = self.channel.get() else { return };
+        if ch.plan.timer_delta.is_none() {
+            return;
+        }
+        let mut log = self.arrival_log.lock();
+        if log.len() < 3 {
+            return;
+        }
+        log.sort_unstable();
+        // Drop the laggard (max), take the remaining spread.
+        let spread = log[log.len() - 2].saturating_sub(log[0]);
+        drop(log);
+        let margin = self.proc.config.adaptive_delta_margin.max(1.0);
+        let new_delta = ((spread as f64 * margin) as u64).max(1_000);
+        ch.delta_ns.store(new_delta, Ordering::Release);
+    }
+}
+
+/// Wire resources of a matched receive request.
+pub(crate) struct RecvChannel {
+    pub plan: TransportPlan,
+    pub qps: Vec<Arc<QueuePair>>,
+}
+
+/// Shared state of a partitioned receive request.
+pub(crate) struct RecvShared {
+    pub id: u64,
+    pub proc: Arc<ProcInner>,
+    pub partitions: u32,
+    pub part_bytes: usize,
+    pub mr: MemoryRegion,
+    pub src: u32,
+    pub tag: u32,
+    pub channel: OnceLock<Arc<RecvChannel>>,
+    pub ready: AtomicBool,
+    pub ready_cbs: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
+    pub active: AtomicBool,
+    pub round: AtomicU64,
+    pub arrived: Box<[AtomicU8]>,
+    pub arrived_count: AtomicU32,
+    pub completed_rounds: AtomicU64,
+    pub complete_cbs: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
+    /// Arrivals observed between rounds (sender ran ahead); applied at the
+    /// next `start`.
+    pub early: Mutex<Vec<(u16, u16)>>,
+}
+
+impl RecvShared {
+    pub(crate) fn channel(&self) -> Result<&Arc<RecvChannel>> {
+        if !self.ready.load(Ordering::Acquire) {
+            return Err(PartixError::ChannelNotReady);
+        }
+        self.channel.get().ok_or(PartixError::ChannelNotReady)
+    }
+
+    /// Mark the channel ready (flag only).
+    pub(crate) fn set_ready(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Fire deferred readiness callbacks (after both ends are flagged).
+    pub(crate) fn fire_ready(&self) {
+        debug_assert!(self.ready.load(Ordering::Acquire));
+        let cbs = std::mem::take(&mut *self.ready_cbs.lock());
+        for cb in cbs {
+            cb();
+        }
+    }
+
+    /// Begin a round: reset flags, replenish receive WRs (paper: "In
+    /// MPI_Start we also post our receive WRs"), and apply any early
+    /// arrivals.
+    pub(crate) fn start(self: &Arc<Self>) -> Result<()> {
+        let ch = self.channel()?.clone();
+        if self.active.swap(true, Ordering::AcqRel) {
+            return Err(PartixError::AlreadyActive);
+        }
+        for f in self.arrived.iter() {
+            f.store(0, Ordering::Relaxed);
+        }
+        self.arrived_count.store(0, Ordering::Release);
+        let round = self.round.fetch_add(1, Ordering::AcqRel) + 1;
+
+        // Top the per-QP receive queues up to the worst-case incoming WR
+        // count (the timer aggregator can split a group into single-partition
+        // writes).
+        for (q, qp) in ch.qps.iter().enumerate() {
+            let needed = ch.plan.max_incoming_wrs(q as u32) as usize;
+            let depth = qp.recv_queue_depth();
+            for _ in depth..needed {
+                let wr_id = self.proc.next_wr_id();
+                self.proc.pending_recvs.lock().insert(wr_id, self.clone());
+                qp.post_recv(partix_verbs::RecvWr::bare(wr_id))?;
+            }
+        }
+
+        self.proc
+            .emit(|s, t| s.on_recv_start(self.proc.rank, self.id, round, t));
+
+        let early = std::mem::take(&mut *self.early.lock());
+        for (lo, cnt) in early {
+            self.apply_arrival(lo, cnt);
+        }
+        Ok(())
+    }
+
+    /// An incoming write-with-immediate completion. In simulated mode the
+    /// receive software path (completion dispatch + flag bookkeeping) is
+    /// charged on a per-process serial resource — the single-threaded
+    /// progress engine — before the arrival becomes visible; the persistent
+    /// baseline pays the much larger Open MPI + UCX receive cost per
+    /// message, which is the receive-side half of the paper's aggregation
+    /// argument.
+    pub(crate) fn on_incoming(self: &Arc<Self>, wc: WorkCompletion) {
+        debug_assert_eq!(wc.status, WcStatus::Success, "recv completion error");
+        let (lo, cnt) = imm::decode(wc.imm.expect("write-with-imm carries an immediate"));
+        if !self.proc.sim_mode {
+            self.record_arrival(lo, cnt);
+            return;
+        }
+        let cfg = &self.proc.config;
+        let cost = match self.channel.get().map(|c| c.plan.kind) {
+            Some(AggregatorKind::Persistent) => cfg.ucx.recv_cost_ns(wc.byte_len as usize),
+            _ => cfg.wr_recv_cost_ns,
+        };
+        let now = self.proc.time.now();
+        let (_s, end) = self
+            .proc
+            .recv_path
+            .reserve(now, SimDuration::from_nanos(cost));
+        let delay = end.saturating_since(now);
+        if delay == SimDuration::ZERO {
+            self.record_arrival(lo, cnt);
+        } else {
+            let me = self.clone();
+            self.proc.time.schedule(
+                delay,
+                Box::new(move || {
+                    me.record_arrival(lo, cnt);
+                }),
+            );
+        }
+    }
+
+    /// Apply an arrival after the software path, buffering it if the round
+    /// has not started yet.
+    fn record_arrival(self: &Arc<Self>, lo: u16, cnt: u16) {
+        if !self.active.load(Ordering::Acquire) {
+            self.early.lock().push((lo, cnt));
+            return;
+        }
+        self.apply_arrival(lo, cnt);
+    }
+
+    fn apply_arrival(self: &Arc<Self>, lo: u16, cnt: u16) {
+        debug_assert!(cnt >= 1);
+        for p in lo as u32..lo as u32 + cnt as u32 {
+            let was = self.arrived[p as usize].swap(1, Ordering::AcqRel);
+            debug_assert_eq!(was, 0, "partition {p} delivered twice");
+            self.proc
+                .emit(|s, t| s.on_partition_arrived(self.proc.rank, self.id, p, t));
+        }
+        let total = self.arrived_count.fetch_add(cnt as u32, Ordering::AcqRel) + cnt as u32;
+        if total == self.partitions
+            && self
+                .active
+                .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            let round = self.round.load(Ordering::Acquire);
+            self.completed_rounds.fetch_add(1, Ordering::AcqRel);
+            self.proc
+                .emit(|s, t| s.on_recv_complete(self.proc.rank, self.id, round, t));
+            let cbs = std::mem::take(&mut *self.complete_cbs.lock());
+            for cb in cbs {
+                cb();
+            }
+        }
+    }
+
+    /// Has partition `i` arrived this round? (`MPI_Parrived`.)
+    pub(crate) fn parrived(&self, i: u32) -> Result<bool> {
+        if i >= self.partitions {
+            return Err(PartixError::PartitionOutOfRange {
+                index: i,
+                partitions: self.partitions,
+            });
+        }
+        if self.arrived[i as usize].load(Ordering::Acquire) == 1 {
+            return Ok(true);
+        }
+        // Not yet: drive the progress engine (try-lock; §IV-A) and re-check.
+        self.proc.try_progress();
+        Ok(self.arrived[i as usize].load(Ordering::Acquire) == 1)
+    }
+}
+
+/// Record a timestamp pair for diagnostics (placeholder for richer
+/// per-round stats).
+#[allow(dead_code)]
+pub(crate) struct RoundStamp {
+    pub start: SimTime,
+    pub complete: SimTime,
+}

@@ -1,0 +1,302 @@
+//! Typed partitioned channels: an ergonomic layer over the byte-oriented
+//! API for element-typed buffers (the common case in the stencil/sweep
+//! codes the paper targets, where each thread owns a strip of `f64`s).
+//!
+//! ```
+//! use partix_core::{typed_channel, AggregatorKind, PartixConfig, World};
+//!
+//! let world = World::instant(2, PartixConfig::with_aggregator(AggregatorKind::PLogGp));
+//! let (tx, rx) = typed_channel::<f64>(&world.proc(0), &world.proc(1), 4, 256, 9).unwrap();
+//!
+//! rx.start().unwrap();
+//! tx.start().unwrap();
+//! for p in 0..4 {
+//!     let strip: Vec<f64> = (0..256).map(|i| (p * 1000 + i) as f64).collect();
+//!     tx.write_and_ready(p, &strip).unwrap();
+//! }
+//! tx.wait().unwrap();
+//! rx.wait().unwrap();
+//! assert_eq!(rx.read_partition(2).unwrap()[0], 2000.0);
+//! ```
+
+use std::marker::PhantomData;
+
+use partix_verbs::MemoryRegion;
+
+use crate::error::{PartixError, Result};
+use crate::handles::{PrecvRequest, Proc, PsendRequest};
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Plain fixed-width elements that can cross the wire. Sealed: implemented
+/// for the primitive numeric types.
+pub trait Element: sealed::Sealed + Copy + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Append the little-endian encoding of `self` to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Decode from a little-endian byte slice of length `SIZE`.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! element_impl {
+    ($($t:ty),*) => {$(
+        impl sealed::Sealed for $t {}
+        impl Element for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("sized slice"))
+            }
+        }
+    )*};
+}
+
+element_impl!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Sending half of a typed partitioned channel.
+pub struct TypedSender<T: Element> {
+    req: PsendRequest,
+    mr: MemoryRegion,
+    items_per_partition: usize,
+    partitions: u32,
+    _marker: PhantomData<T>,
+}
+
+/// Receiving half of a typed partitioned channel.
+pub struct TypedReceiver<T: Element> {
+    req: PrecvRequest,
+    mr: MemoryRegion,
+    items_per_partition: usize,
+    partitions: u32,
+    _marker: PhantomData<T>,
+}
+
+/// Create a typed partitioned channel of `partitions` partitions, each
+/// holding `items_per_partition` elements of `T`, from `sender` to
+/// `receiver` with `tag`.
+pub fn typed_channel<T: Element>(
+    sender: &Proc,
+    receiver: &Proc,
+    partitions: u32,
+    items_per_partition: usize,
+    tag: u32,
+) -> Result<(TypedSender<T>, TypedReceiver<T>)> {
+    let part_bytes = items_per_partition
+        .checked_mul(T::SIZE)
+        .ok_or(PartixError::ZeroPartitionSize)?;
+    if part_bytes == 0 {
+        return Err(PartixError::ZeroPartitionSize);
+    }
+    let total = partitions as usize * part_bytes;
+    let sbuf = sender.alloc_buffer(total)?;
+    let rbuf = receiver.alloc_buffer(total)?;
+    let send = sender.psend_init(&sbuf, partitions, part_bytes, receiver.rank(), tag)?;
+    let recv = receiver.precv_init(&rbuf, partitions, part_bytes, sender.rank(), tag)?;
+    Ok((
+        TypedSender {
+            req: send,
+            mr: sbuf,
+            items_per_partition,
+            partitions,
+            _marker: PhantomData,
+        },
+        TypedReceiver {
+            req: recv,
+            mr: rbuf,
+            items_per_partition,
+            partitions,
+            _marker: PhantomData,
+        },
+    ))
+}
+
+impl<T: Element> TypedSender<T> {
+    /// The underlying request handle.
+    pub fn request(&self) -> &PsendRequest {
+        &self.req
+    }
+
+    /// Begin a round (`MPI_Start`).
+    pub fn start(&self) -> Result<()> {
+        self.req.start()
+    }
+
+    /// Write `items` into partition `i` and mark it ready. The slice must
+    /// hold exactly `items_per_partition` elements.
+    pub fn write_and_ready(&self, i: u32, items: &[T]) -> Result<()> {
+        if i >= self.partitions {
+            return Err(PartixError::PartitionOutOfRange {
+                index: i,
+                partitions: self.partitions,
+            });
+        }
+        if items.len() != self.items_per_partition {
+            return Err(PartixError::BufferTooSmall {
+                required: self.items_per_partition * T::SIZE,
+                available: items.len() * T::SIZE,
+            });
+        }
+        let mut bytes = Vec::with_capacity(items.len() * T::SIZE);
+        for item in items {
+            item.write_le(&mut bytes);
+        }
+        self.mr
+            .write(i as usize * self.items_per_partition * T::SIZE, &bytes)?;
+        self.req.pready(i)
+    }
+
+    /// Block until the round completes (`MPI_Wait`).
+    pub fn wait(&self) -> Result<()> {
+        self.req.wait()
+    }
+
+    /// Elements per partition.
+    pub fn items_per_partition(&self) -> usize {
+        self.items_per_partition
+    }
+
+    /// Partition count of the channel.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+}
+
+impl<T: Element> TypedReceiver<T> {
+    /// The underlying request handle.
+    pub fn request(&self) -> &PrecvRequest {
+        &self.req
+    }
+
+    /// Begin a round (`MPI_Start`).
+    pub fn start(&self) -> Result<()> {
+        self.req.start()
+    }
+
+    /// Has partition `i` arrived? (`MPI_Parrived`.)
+    pub fn parrived(&self, i: u32) -> Result<bool> {
+        self.req.parrived(i)
+    }
+
+    /// Partition count of the channel.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// Read partition `i`'s elements. Errors with
+    /// [`PartixError::NotActive`]-adjacent semantics if the partition has
+    /// not arrived yet (reading unarrived data would race the NIC).
+    pub fn read_partition(&self, i: u32) -> Result<Vec<T>> {
+        if !self.req.parrived(i)? {
+            return Err(PartixError::NotActive);
+        }
+        let bytes = self.mr.read_vec(
+            i as usize * self.items_per_partition * T::SIZE,
+            self.items_per_partition * T::SIZE,
+        )?;
+        Ok(bytes.chunks_exact(T::SIZE).map(T::read_le).collect())
+    }
+
+    /// Block until all partitions arrive (`MPI_Wait`).
+    pub fn wait(&self) -> Result<()> {
+        self.req.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AggregatorKind, PartixConfig};
+    use crate::world::World;
+
+    fn world() -> World {
+        World::instant(2, PartixConfig::with_aggregator(AggregatorKind::PLogGp))
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let w = world();
+        let (tx, rx) = typed_channel::<f64>(&w.proc(0), &w.proc(1), 8, 64, 0).unwrap();
+        rx.start().unwrap();
+        tx.start().unwrap();
+        for p in 0..8u32 {
+            let strip: Vec<f64> = (0..64).map(|i| p as f64 * 100.0 + i as f64 * 0.5).collect();
+            tx.write_and_ready(p, &strip).unwrap();
+        }
+        tx.wait().unwrap();
+        rx.wait().unwrap();
+        for p in 0..8u32 {
+            let got = rx.read_partition(p).unwrap();
+            assert_eq!(got.len(), 64);
+            assert_eq!(got[3], p as f64 * 100.0 + 1.5);
+        }
+    }
+
+    #[test]
+    fn integer_types_round_trip() {
+        let w = world();
+        let (tx, rx) = typed_channel::<i32>(&w.proc(0), &w.proc(1), 2, 16, 1).unwrap();
+        rx.start().unwrap();
+        tx.start().unwrap();
+        tx.write_and_ready(0, &[-7i32; 16]).unwrap();
+        tx.write_and_ready(1, &[i32::MAX; 16]).unwrap();
+        tx.wait().unwrap();
+        rx.wait().unwrap();
+        assert_eq!(rx.read_partition(0).unwrap(), vec![-7i32; 16]);
+        assert_eq!(rx.read_partition(1).unwrap(), vec![i32::MAX; 16]);
+    }
+
+    #[test]
+    fn wrong_strip_length_rejected() {
+        let w = world();
+        let (tx, rx) = typed_channel::<u64>(&w.proc(0), &w.proc(1), 2, 8, 2).unwrap();
+        rx.start().unwrap();
+        tx.start().unwrap();
+        assert!(matches!(
+            tx.write_and_ready(0, &[1u64; 7]),
+            Err(PartixError::BufferTooSmall { .. })
+        ));
+        assert!(matches!(
+            tx.write_and_ready(5, &[1u64; 8]),
+            Err(PartixError::PartitionOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn reading_unarrived_partition_is_an_error() {
+        // Persistent: each partition travels alone, so arrival is
+        // per-partition.
+        let w = World::instant(2, PartixConfig::with_aggregator(AggregatorKind::Persistent));
+        let (tx, rx) = typed_channel::<f32>(&w.proc(0), &w.proc(1), 4, 4, 3).unwrap();
+        rx.start().unwrap();
+        tx.start().unwrap();
+        tx.write_and_ready(1, &[2.5f32; 4]).unwrap();
+        assert!(rx.read_partition(0).is_err());
+        assert_eq!(rx.read_partition(1).unwrap(), vec![2.5f32; 4]);
+    }
+
+    #[test]
+    fn per_partition_consumption_while_sending() {
+        // parrived-driven consumption: read each strip as soon as it lands.
+        let w = world();
+        let (tx, rx) = typed_channel::<u16>(&w.proc(0), &w.proc(1), 16, 32, 4).unwrap();
+        rx.start().unwrap();
+        tx.start().unwrap();
+        for p in (0..16u32).rev() {
+            tx.write_and_ready(p, &[p as u16; 32]).unwrap();
+            // The persistent buffer is shared; with the PLogGP plan the
+            // whole round may aggregate into one WR, so arrival is only
+            // guaranteed per transport group — poll instead of asserting.
+            let _ = rx.parrived(p);
+        }
+        tx.wait().unwrap();
+        rx.wait().unwrap();
+        for p in 0..16u32 {
+            assert_eq!(rx.read_partition(p).unwrap(), vec![p as u16; 32]);
+        }
+    }
+}

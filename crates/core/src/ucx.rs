@@ -1,0 +1,238 @@
+//! Cost model of the Open MPI + UCX software path.
+//!
+//! The paper's baseline is Open MPI 5.0.x's `part_persist` module over UCX
+//! 1.12, which sends each user partition as its own tagged message. UCX
+//! switches protocol with message size, and those switches are visible in
+//! the paper's speedup curves (e.g. the dip at a 1 KiB partition size where
+//! UCX moves from eager/bcopy to eager/zcopy — paper §V-B2). This module
+//! prices one UCX message so the simulated baseline reproduces that
+//! structure:
+//!
+//! - **inline** (≤ 64 B): the NIC doorbell carries the payload;
+//! - **eager bcopy** (≤ 1 KiB): payload copied into a bounce buffer;
+//! - **eager zcopy** (≤ rndv threshold): zero-copy from the registered
+//!   user buffer;
+//! - **rendezvous** (> threshold): an RTS/CTS handshake adds a round trip
+//!   before the payload moves.
+//!
+//! Per-message CPU work (tag matching, request bookkeeping, and the UCX
+//! worker lock serialising multi-threaded posts) is charged on a shared
+//! serial resource by the runtime, which is how lock contention at high
+//! thread counts emerges in the simulation (paper §V-B2, 128 partitions).
+
+/// UCX protocol cost parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct UcxModel {
+    /// Largest payload sent inline with the doorbell.
+    pub inline_max: usize,
+    /// Largest payload for eager bcopy (UCX default ~1 KiB on this class of
+    /// hardware).
+    pub bcopy_max: usize,
+    /// Rendezvous threshold.
+    pub rndv_threshold: usize,
+    /// Bounce-buffer copy rate (ns/byte) for bcopy.
+    pub copy_ns_per_byte: f64,
+    /// CPU cost of an inline send (ns) — BlueFlame/inlining makes this the
+    /// cheapest path, which our verbs module does not use (paper §IV-A).
+    pub inline_cpu_ns: u64,
+    /// CPU cost of a bcopy eager send (ns), excluding the copy itself.
+    pub bcopy_cpu_ns: u64,
+    /// CPU cost of a zcopy eager send (ns) — memory registration checks.
+    pub zcopy_cpu_ns: u64,
+    /// CPU cost of a rendezvous send (ns), excluding the handshake RTT.
+    pub rndv_cpu_ns: u64,
+    /// Tag-matching and MPI request bookkeeping per message (ns).
+    pub matching_ns: u64,
+    /// Base hold time of the UCX worker lock per posted message (ns).
+    pub lock_hold_ns: u64,
+    /// Receive-side software cost per incoming message (ns) for messages
+    /// above the eager-bcopy threshold: completion dispatch, tag-match
+    /// confirmation and `part_persist` request bookkeeping, serialised by
+    /// the single-threaded progress engine. The dominant reason aggregation
+    /// wins at high partition counts.
+    pub recv_path_ns: u64,
+    /// Receive-side cost (ns) for small eager messages, which take a much
+    /// leaner completion path.
+    pub recv_path_small_ns: u64,
+    /// Physical cores per node (Niagara: 40). Posting threads beyond this
+    /// suffer a lock convoy: each worker-lock handoff involves waking a
+    /// descheduled thread, multiplying the effective lock cost by
+    /// `(threads / cores)^2` (paper §V-B2: the 128-partition case).
+    pub cores_per_node: u32,
+}
+
+impl Default for UcxModel {
+    fn default() -> Self {
+        UcxModel {
+            inline_max: 64,
+            bcopy_max: 1024,
+            rndv_threshold: 32 << 10,
+            copy_ns_per_byte: 0.2,
+            inline_cpu_ns: 200,
+            bcopy_cpu_ns: 1_200,
+            zcopy_cpu_ns: 1_100,
+            rndv_cpu_ns: 1_300,
+            matching_ns: 400,
+            lock_hold_ns: 150,
+            recv_path_ns: 2_500,
+            recv_path_small_ns: 600,
+            cores_per_node: 40,
+        }
+    }
+}
+
+/// Protocol chosen for a message size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UcxProtocol {
+    /// Payload inlined into the doorbell write.
+    Inline,
+    /// Eager send through a bounce buffer.
+    EagerBcopy,
+    /// Eager zero-copy send.
+    EagerZcopy,
+    /// Rendezvous (RTS/CTS) transfer.
+    Rendezvous,
+}
+
+/// Price of one message through the UCX path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UcxCost {
+    /// Protocol selected.
+    pub protocol: UcxProtocol,
+    /// CPU nanoseconds spent on the posting thread while holding the UCX
+    /// worker lock (serialised across threads).
+    pub locked_cpu_ns: u64,
+    /// Extra one-way wire latency (the rendezvous handshake), in ns.
+    pub extra_latency_ns: u64,
+    /// Whether the message rides the NIC's inline/BlueFlame fast lane.
+    pub small_lane: bool,
+}
+
+impl UcxModel {
+    /// Select the protocol for a `size`-byte message.
+    pub fn protocol(&self, size: usize) -> UcxProtocol {
+        if size <= self.inline_max {
+            UcxProtocol::Inline
+        } else if size <= self.bcopy_max {
+            UcxProtocol::EagerBcopy
+        } else if size <= self.rndv_threshold {
+            UcxProtocol::EagerZcopy
+        } else {
+            UcxProtocol::Rendezvous
+        }
+    }
+
+    /// Receive-side cost for a `size`-byte incoming message.
+    pub fn recv_cost_ns(&self, size: usize) -> u64 {
+        if size <= self.bcopy_max {
+            self.recv_path_small_ns
+        } else {
+            self.recv_path_ns
+        }
+    }
+
+    /// Lock-convoy multiplier for `threads` concurrently posting threads.
+    pub fn convoy_factor(&self, threads: u32) -> f64 {
+        let r = threads as f64 / self.cores_per_node.max(1) as f64;
+        if r <= 1.0 {
+            1.0
+        } else {
+            r * r
+        }
+    }
+
+    /// Price one `size`-byte message. `one_way_latency_ns` is the fabric's
+    /// L, used for the rendezvous handshake RTT.
+    pub fn cost(&self, size: usize, one_way_latency_ns: f64) -> UcxCost {
+        let protocol = self.protocol(size);
+        let (cpu, extra) = match protocol {
+            UcxProtocol::Inline => (self.inline_cpu_ns, 0u64),
+            UcxProtocol::EagerBcopy => (
+                self.bcopy_cpu_ns + (size as f64 * self.copy_ns_per_byte) as u64,
+                0,
+            ),
+            UcxProtocol::EagerZcopy => (self.zcopy_cpu_ns, 0),
+            UcxProtocol::Rendezvous => (self.rndv_cpu_ns, (2.0 * one_way_latency_ns) as u64),
+        };
+        UcxCost {
+            protocol,
+            locked_cpu_ns: self.lock_hold_ns + self.matching_ns + cpu,
+            extra_latency_ns: extra,
+            small_lane: matches!(protocol, UcxProtocol::Inline | UcxProtocol::EagerBcopy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_thresholds() {
+        let m = UcxModel::default();
+        assert_eq!(m.protocol(1), UcxProtocol::Inline);
+        assert_eq!(m.protocol(64), UcxProtocol::Inline);
+        assert_eq!(m.protocol(65), UcxProtocol::EagerBcopy);
+        assert_eq!(m.protocol(1024), UcxProtocol::EagerBcopy);
+        assert_eq!(m.protocol(1025), UcxProtocol::EagerZcopy);
+        assert_eq!(m.protocol(32 << 10), UcxProtocol::EagerZcopy);
+        assert_eq!(m.protocol((32 << 10) + 1), UcxProtocol::Rendezvous);
+    }
+
+    #[test]
+    fn bcopy_charges_the_copy() {
+        let m = UcxModel::default();
+        let small = m.cost(128, 1000.0);
+        let big = m.cost(1024, 1000.0);
+        assert!(big.locked_cpu_ns > small.locked_cpu_ns);
+        assert_eq!(small.extra_latency_ns, 0);
+    }
+
+    #[test]
+    fn bcopy_to_zcopy_switch_is_discontinuous() {
+        // The protocol switch the paper observes as a speedup dip: crossing
+        // 1 KiB drops the copy cost.
+        let m = UcxModel::default();
+        let at = m.cost(1024, 1000.0).locked_cpu_ns;
+        let past = m.cost(1025, 1000.0).locked_cpu_ns;
+        assert!(
+            past < at,
+            "zcopy ({past}) should be cheaper than bcopy at threshold ({at})"
+        );
+    }
+
+    #[test]
+    fn rendezvous_adds_round_trip() {
+        let m = UcxModel::default();
+        let c = m.cost(1 << 20, 1300.0);
+        assert_eq!(c.protocol, UcxProtocol::Rendezvous);
+        assert_eq!(c.extra_latency_ns, 2600);
+    }
+
+    #[test]
+    fn recv_cost_is_size_dependent() {
+        let m = UcxModel::default();
+        assert_eq!(m.recv_cost_ns(64), m.recv_path_small_ns);
+        assert_eq!(m.recv_cost_ns(1024), m.recv_path_small_ns);
+        assert_eq!(m.recv_cost_ns(4096), m.recv_path_ns);
+        assert!(m.recv_path_ns > m.recv_path_small_ns);
+    }
+
+    #[test]
+    fn convoy_kicks_in_past_core_count() {
+        let m = UcxModel::default();
+        assert_eq!(m.convoy_factor(4), 1.0);
+        assert_eq!(m.convoy_factor(40), 1.0);
+        let f = m.convoy_factor(128);
+        assert!((f - 10.24).abs() < 1e-9, "128/40 squared, got {f}");
+    }
+
+    #[test]
+    fn inline_is_cheapest() {
+        let m = UcxModel::default();
+        let inline = m.cost(32, 1000.0).locked_cpu_ns;
+        for size in [128, 4096, 1 << 20] {
+            assert!(m.cost(size, 1000.0).locked_cpu_ns > inline);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! World construction, init-time matching, and channel establishment.
+//!
+//! `psend_init`/`precv_init` are matched by `(source rank, destination
+//! rank, tag)` in posted order — MPI Partitioned forbids wildcards, which is
+//! what makes init-time matching sufficient (paper §II-A). A matched pair
+//! establishes a channel: QPs are created and connected on both nodes, the
+//! receiver's registered buffer (rkey + base address) is handed to the
+//! sender, and readiness is signalled after a modelled asynchronous setup
+//! delay (the paper polls the progress engine in `MPI_Start` until the
+//! remote buffer is ready — §IV-A).
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use partix_sim::{Scheduler, SerialResource, SimTime, TimeSource};
+use partix_verbs::{connect_pair, Network, QpCaps, SimFabric};
+
+use crate::config::PartixConfig;
+use crate::error::Result;
+use crate::events::EventSink;
+use crate::handles::Proc;
+use crate::plan::plan_for;
+use crate::proc::{ProcInner, SinkHandle};
+use crate::request::{GroupState, RecvChannel, RecvShared, SendChannel, SendShared};
+
+/// Matching queues per `(src, dst, tag)`.
+#[derive(Default)]
+struct PairQueues {
+    sends: std::collections::VecDeque<Arc<SendShared>>,
+    recvs: std::collections::VecDeque<Arc<RecvShared>>,
+}
+
+/// Init-time matcher.
+#[derive(Default)]
+pub(crate) struct MatchService {
+    pending: Mutex<HashMap<(u32, u32, u32), PairQueues>>,
+}
+
+impl MatchService {
+    fn offer_send(&self, world: &Arc<WorldInner>, s: Arc<SendShared>) -> Result<()> {
+        let key = (s.proc.rank, s.dest, s.tag);
+        let matched = {
+            let mut map = self.pending.lock();
+            let q = map.entry(key).or_default();
+            match q.recvs.pop_front() {
+                Some(r) => Some(r),
+                None => {
+                    q.sends.push_back(s.clone());
+                    None
+                }
+            }
+        };
+        if let Some(r) = matched {
+            establish(world, s, r)?;
+        }
+        Ok(())
+    }
+
+    fn offer_recv(&self, world: &Arc<WorldInner>, r: Arc<RecvShared>) -> Result<()> {
+        let key = (r.src, r.proc.rank, r.tag);
+        let matched = {
+            let mut map = self.pending.lock();
+            let q = map.entry(key).or_default();
+            match q.sends.pop_front() {
+                Some(s) => Some(s),
+                None => {
+                    q.recvs.push_back(r.clone());
+                    None
+                }
+            }
+        };
+        if let Some(s) = matched {
+            establish(world, s, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared world state.
+pub(crate) struct WorldInner {
+    pub network: Network,
+    pub sim: Option<Scheduler>,
+    pub sim_fabric: Option<Arc<SimFabric>>,
+    pub time: TimeSource,
+    pub config: PartixConfig,
+    pub match_svc: MatchService,
+    pub procs: Mutex<HashMap<u32, Arc<ProcInner>>>,
+    pub sink: SinkHandle,
+    pub req_seq: AtomicU64,
+}
+
+/// An in-process "MPI world": a set of ranks joined by one fabric.
+#[derive(Clone)]
+pub struct World {
+    pub(crate) inner: Arc<WorldInner>,
+}
+
+impl World {
+    /// Build a simulated world of `ranks` ranks on a fresh virtual clock.
+    /// Returns the scheduler that drives it.
+    pub fn sim(ranks: u32, config: PartixConfig) -> (World, Scheduler) {
+        let sched = Scheduler::new();
+        let fabric = SimFabric::new(sched.clone(), config.fabric);
+        let network = Network::new(ranks, fabric.clone());
+        let inner = Arc::new(WorldInner {
+            network,
+            sim: Some(sched.clone()),
+            sim_fabric: Some(fabric),
+            time: TimeSource::simulated(&sched),
+            config,
+            match_svc: MatchService::default(),
+            procs: Mutex::new(HashMap::new()),
+            sink: Arc::new(Mutex::new(None)),
+            req_seq: AtomicU64::new(1),
+        });
+        (World { inner }, sched)
+    }
+
+    /// Build an instant-fabric world (wall-clock time, synchronous
+    /// transfers) for functional use with real threads.
+    pub fn instant(ranks: u32, config: PartixConfig) -> World {
+        World::with_fabric(ranks, config, partix_verbs::InstantFabric::new())
+    }
+
+    /// Build a wall-clock world over a caller-supplied fabric (e.g. a
+    /// [`partix_verbs::FaultyFabric`] for failure-injection testing).
+    pub fn with_fabric(
+        ranks: u32,
+        config: PartixConfig,
+        fabric: std::sync::Arc<dyn partix_verbs::Fabric>,
+    ) -> World {
+        let network = Network::new(ranks, fabric);
+        let inner = Arc::new(WorldInner {
+            network,
+            sim: None,
+            sim_fabric: None,
+            time: TimeSource::real(),
+            config,
+            match_svc: MatchService::default(),
+            procs: Mutex::new(HashMap::new()),
+            sink: Arc::new(Mutex::new(None)),
+            req_seq: AtomicU64::new(1),
+        });
+        World { inner }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PartixConfig {
+        &self.inner.config
+    }
+
+    /// Current time (virtual in sim mode, wall-clock otherwise).
+    pub fn now(&self) -> SimTime {
+        self.inner.time.now()
+    }
+
+    /// The driving scheduler (sim mode only).
+    pub fn scheduler(&self) -> Option<&Scheduler> {
+        self.inner.sim.as_ref()
+    }
+
+    /// The simulated fabric (sim mode only), for traffic statistics.
+    pub fn sim_fabric(&self) -> Option<&Arc<SimFabric>> {
+        self.inner.sim_fabric.as_ref()
+    }
+
+    /// Install an event sink (profiler hook).
+    pub fn set_event_sink(&self, sink: Arc<dyn EventSink>) {
+        *self.inner.sink.lock() = Some(sink);
+    }
+
+    /// Remove the event sink.
+    pub fn clear_event_sink(&self) {
+        *self.inner.sink.lock() = None;
+    }
+
+    /// Get (or lazily create) the process for `rank`.
+    pub fn proc(&self, rank: u32) -> Proc {
+        let inner = {
+            let mut procs = self.inner.procs.lock();
+            if let Some(p) = procs.get(&rank) {
+                p.clone()
+            } else {
+                let ctx = self
+                    .inner
+                    .network
+                    .open(rank)
+                    .expect("rank within world size");
+                let pd = ctx.alloc_pd();
+                let send_cq = ctx.create_cq();
+                let recv_cq = ctx.create_cq();
+                let p = Arc::new(ProcInner {
+                    rank,
+                    ctx,
+                    pd,
+                    send_cq: send_cq.clone(),
+                    recv_cq: recv_cq.clone(),
+                    config: self.inner.config.clone(),
+                    time: self.inner.time.clone(),
+                    sim_mode: self.inner.sim.is_some(),
+                    sink: self.inner.sink.clone(),
+                    progress_lock: Mutex::new(()),
+                    pending_sends: Mutex::new(HashMap::new()),
+                    pending_recvs: Mutex::new(HashMap::new()),
+                    wr_seq: AtomicU64::new(1),
+                    drainable: Mutex::new(Vec::new()),
+                    ucx_lock: Arc::new(SerialResource::new()),
+                    recv_path: Arc::new(SerialResource::new()),
+                });
+                // In simulated mode, completion events drive the progress
+                // engine directly (the completion-channel analogue); in
+                // instant mode progress is caller-driven, like real MPI.
+                if self.inner.sim.is_some() {
+                    let weak = Arc::downgrade(&p);
+                    let hook = Arc::new(move || {
+                        if let Some(p) = weak.upgrade() {
+                            p.try_progress();
+                        }
+                    });
+                    send_cq.set_notify(hook.clone());
+                    recv_cq.set_notify(hook);
+                }
+                procs.insert(rank, p.clone());
+                p
+            }
+        };
+        Proc::new(inner, self.inner.clone())
+    }
+
+    pub(crate) fn offer_send(&self, s: Arc<SendShared>) -> Result<()> {
+        self.inner.match_svc.offer_send(&self.inner, s)
+    }
+
+    pub(crate) fn offer_recv(&self, r: Arc<RecvShared>) -> Result<()> {
+        self.inner.match_svc.offer_recv(&self.inner, r)
+    }
+}
+
+/// Establish the channel for a matched psend/precv pair.
+fn establish(world: &Arc<WorldInner>, s: Arc<SendShared>, r: Arc<RecvShared>) -> Result<()> {
+    assert_eq!(
+        s.partitions, r.partitions,
+        "matched psend/precv disagree on partition count (src {} dst {} tag {})",
+        s.proc.rank, s.dest, s.tag
+    );
+    assert_eq!(
+        s.part_bytes, r.part_bytes,
+        "matched psend/precv disagree on partition size (src {} dst {} tag {})",
+        s.proc.rank, s.dest, s.tag
+    );
+
+    let plan = plan_for(&world.config, s.partitions, s.part_bytes);
+    let mut send_qps = Vec::with_capacity(plan.qp_count as usize);
+    let mut recv_qps = Vec::with_capacity(plan.qp_count as usize);
+    for q in 0..plan.qp_count {
+        let recv_caps = QpCaps {
+            max_recv_wr: plan.max_incoming_wrs(q) + 16,
+            ..QpCaps::default()
+        };
+        let qa = s.proc.ctx.create_qp(
+            s.proc.pd,
+            s.proc.send_cq.clone(),
+            s.proc.recv_cq.clone(),
+            QpCaps::default(),
+        )?;
+        let qb = r.proc.ctx.create_qp(
+            r.proc.pd,
+            r.proc.send_cq.clone(),
+            r.proc.recv_cq.clone(),
+            recv_caps,
+        )?;
+        connect_pair(&qa, &qb)?;
+        send_qps.push(qa);
+        recv_qps.push(qb);
+    }
+
+    let groups = (0..plan.groups)
+        .map(|g| GroupState {
+            range: plan.range_of(g),
+            arrived: std::sync::atomic::AtomicU32::new(0),
+            phase: std::sync::atomic::AtomicU8::new(0),
+            lock: Mutex::new(()),
+        })
+        .collect();
+
+    let send_channel = Arc::new(SendChannel {
+        plan: plan.clone(),
+        qps: send_qps,
+        remote_addr: r.mr.addr(),
+        remote_rkey: r.mr.rkey(),
+        groups,
+        pending: Mutex::new(std::collections::VecDeque::new()),
+        delta_ns: std::sync::atomic::AtomicU64::new(
+            plan.timer_delta.map(|d| d.as_nanos()).unwrap_or(0),
+        ),
+    });
+    let recv_channel = Arc::new(RecvChannel {
+        plan,
+        qps: recv_qps,
+    });
+
+    set_once(&s.channel, send_channel);
+    set_once(&r.channel, recv_channel);
+    s.proc.drainable.lock().push(Arc::downgrade(&s));
+
+    // Asynchronous bring-up: the channel becomes usable after the modelled
+    // QP-exchange delay (first `MPI_Start` waits on this — paper §IV-A).
+    let mark_both = move |s: &SendShared, r: &RecvShared| {
+        s.set_ready();
+        r.set_ready();
+        s.fire_ready();
+        r.fire_ready();
+    };
+    match &world.sim {
+        Some(sched) => {
+            let (s2, r2) = (s.clone(), r.clone());
+            sched.after(world.config.setup_delay, move || {
+                mark_both(&s2, &r2);
+            });
+        }
+        None => mark_both(&s, &r),
+    }
+    Ok(())
+}
+
+fn set_once<T>(slot: &OnceLock<T>, value: T) {
+    if slot.set(value).is_err() {
+        unreachable!("channel established twice for one request");
+    }
+}

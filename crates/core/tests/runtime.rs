@@ -1,0 +1,753 @@
+//! Integration tests for the partitioned runtime: lifecycle, aggregation
+//! behaviour (WR counts per policy), timer semantics, multi-threaded pready,
+//! simulated-mode rounds, and error paths.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use partix_core::{
+    AggregatorKind, PartixConfig, PartixError, PrecvRequest, PsendRequest, SimDuration, World,
+};
+use partix_verbs::MemoryRegion;
+
+struct Link {
+    world: World,
+    send: PsendRequest,
+    recv: PrecvRequest,
+    sbuf: MemoryRegion,
+    rbuf: MemoryRegion,
+}
+
+fn instant_link(cfg: PartixConfig, partitions: u32, part_bytes: usize) -> Link {
+    let world = World::instant(2, cfg);
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let bytes = partitions as usize * part_bytes;
+    let sbuf = p0.alloc_buffer(bytes).unwrap();
+    let rbuf = p1.alloc_buffer(bytes).unwrap();
+    let send = p0.psend_init(&sbuf, partitions, part_bytes, 1, 7).unwrap();
+    let recv = p1.precv_init(&rbuf, partitions, part_bytes, 0, 7).unwrap();
+    Link {
+        world,
+        send,
+        recv,
+        sbuf,
+        rbuf,
+    }
+}
+
+/// Fill each partition with a distinct byte derived from (round, index).
+fn fill_pattern(buf: &MemoryRegion, partitions: u32, part_bytes: usize, round: u8) {
+    for p in 0..partitions {
+        buf.fill(
+            p as usize * part_bytes,
+            part_bytes,
+            round.wrapping_mul(31) ^ p as u8,
+        )
+        .unwrap();
+    }
+}
+
+fn check_pattern(buf: &MemoryRegion, partitions: u32, part_bytes: usize, round: u8) {
+    for p in 0..partitions {
+        let got = buf.read_vec(p as usize * part_bytes, part_bytes).unwrap();
+        let want = vec![round.wrapping_mul(31) ^ p as u8; part_bytes];
+        assert_eq!(got, want, "partition {p} corrupted in round {round}");
+    }
+}
+
+#[test]
+fn basic_round_trip_all_aggregators() {
+    for kind in [
+        AggregatorKind::Persistent,
+        AggregatorKind::TuningTable,
+        AggregatorKind::PLogGp,
+        AggregatorKind::TimerPLogGp,
+    ] {
+        let l = instant_link(PartixConfig::with_aggregator(kind), 8, 256);
+        assert!(l.send.is_ready() && l.recv.is_ready());
+        l.recv.start().unwrap();
+        l.send.start().unwrap();
+        fill_pattern(&l.sbuf, 8, 256, 1);
+        for i in 0..8 {
+            l.send.pready(i).unwrap();
+        }
+        l.send.wait().unwrap();
+        l.recv.wait().unwrap();
+        check_pattern(&l.rbuf, 8, 256, 1);
+        assert_eq!(l.send.completed_rounds(), 1, "{kind:?}");
+        assert_eq!(l.recv.completed_rounds(), 1, "{kind:?}");
+        assert!(l.send.error().is_none());
+    }
+}
+
+#[test]
+fn persistent_rounds_reuse_buffers() {
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::PLogGp),
+        4,
+        512,
+    );
+    for round in 1..=5u8 {
+        l.recv.start().unwrap();
+        l.send.start().unwrap();
+        fill_pattern(&l.sbuf, 4, 512, round);
+        // Vary the pready order per round.
+        let order: Vec<u32> = match round % 3 {
+            0 => vec![0, 1, 2, 3],
+            1 => vec![3, 2, 1, 0],
+            _ => vec![1, 3, 0, 2],
+        };
+        for i in order {
+            l.send.pready(i).unwrap();
+        }
+        l.send.wait().unwrap();
+        l.recv.wait().unwrap();
+        check_pattern(&l.rbuf, 4, 512, round);
+    }
+    assert_eq!(l.send.completed_rounds(), 5);
+    assert_eq!(l.recv.completed_rounds(), 5);
+}
+
+#[test]
+fn persistent_posts_one_wr_per_partition() {
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::Persistent),
+        16,
+        1024,
+    );
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    for i in 0..16 {
+        l.send.pready(i).unwrap();
+    }
+    l.send.wait().unwrap();
+    assert_eq!(l.send.total_wrs_posted(), 16);
+    let plan = l.send.plan().unwrap();
+    assert_eq!(plan.groups, 16);
+    assert_eq!(plan.group_size, 1);
+}
+
+#[test]
+fn ploggp_aggregates_small_messages_into_one_wr() {
+    // 32 x 512 B = 16 KiB total: Table I says one transport partition.
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::PLogGp),
+        32,
+        512,
+    );
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    for i in (0..32).rev() {
+        l.send.pready(i).unwrap();
+    }
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+    assert_eq!(l.send.total_wrs_posted(), 1, "one aggregated WR expected");
+}
+
+#[test]
+fn ploggp_splits_large_messages() {
+    // 8 x 4 MiB = 32 MiB: the model wants 16 but only 8 partitions exist, so
+    // it clamps to the user's request (paper §IV-C).
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::PLogGp),
+        8,
+        4 << 20,
+    );
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    for i in 0..8 {
+        l.send.pready(i).unwrap();
+    }
+    l.send.wait().unwrap();
+    assert_eq!(l.send.total_wrs_posted(), 8);
+}
+
+#[test]
+fn parrived_reports_individual_partitions() {
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::Persistent),
+        4,
+        128,
+    );
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    assert!(!l.recv.parrived(0).unwrap());
+    l.send.pready(2).unwrap();
+    assert!(l.recv.parrived(2).unwrap());
+    assert!(!l.recv.parrived(0).unwrap());
+    assert!(!l.recv.test());
+    l.send.pready(0).unwrap();
+    l.send.pready(1).unwrap();
+    l.send.pready(3).unwrap();
+    assert!(l.recv.test());
+    assert_eq!(l.recv.arrived_count(), 4);
+}
+
+#[test]
+fn timer_aggregator_sends_whole_group_when_all_arrive_before_delta() {
+    // Large delta: the last pready aggregates everything into one WR.
+    let mut cfg = PartixConfig::with_aggregator(AggregatorKind::TimerPLogGp);
+    cfg.delta = SimDuration::from_secs(10); // effectively never fires first
+    let l = instant_link(cfg, 8, 512);
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    for i in 0..8 {
+        l.send.pready(i).unwrap();
+    }
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+    assert_eq!(
+        l.send.total_wrs_posted(),
+        1,
+        "delta_a case: last arrival sends the whole group"
+    );
+}
+
+#[test]
+fn timer_aggregator_flushes_contiguous_runs_on_expiry() {
+    // Tiny delta with a real-thread timer: ready partitions {0,1,3} flush as
+    // runs {0,1} and {3}; the laggard {2} sends itself (the paper's Fig. 5
+    // delta_b walk-through).
+    let mut cfg = PartixConfig::with_aggregator(AggregatorKind::TimerPLogGp);
+    cfg.delta = SimDuration::from_millis(30);
+    let l = instant_link(cfg, 4, 256);
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    fill_pattern(&l.sbuf, 4, 256, 9);
+    l.send.pready(0).unwrap();
+    l.send.pready(1).unwrap();
+    l.send.pready(3).unwrap();
+    // Wait for the delta timer to flush.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while l.send.total_wrs_posted() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flush did not happen within 5s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(l.send.total_wrs_posted(), 2, "runs {{0,1}} and {{3}}");
+    assert!(!l.recv.test(), "partition 2 still missing");
+    // Laggard arrives after the flush and sends itself.
+    l.send.pready(2).unwrap();
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+    assert_eq!(l.send.total_wrs_posted(), 3);
+    check_pattern(&l.rbuf, 4, 256, 9);
+}
+
+#[test]
+fn multithreaded_pready_stress() {
+    // 32 threads each own one partition across many rounds; data integrity
+    // and counts must hold. Exercises the lock-free pready path and the
+    // try-lock progress engine from many threads.
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::PLogGp),
+        32,
+        4096,
+    );
+    let rounds = 20u8;
+    for round in 1..=rounds {
+        l.recv.start().unwrap();
+        l.send.start().unwrap();
+        std::thread::scope(|s| {
+            for t in 0..32u32 {
+                let send = &l.send;
+                let sbuf = &l.sbuf;
+                s.spawn(move || {
+                    sbuf.fill(t as usize * 4096, 4096, round.wrapping_mul(31) ^ t as u8)
+                        .unwrap();
+                    send.pready(t).unwrap();
+                });
+            }
+        });
+        l.send.wait().unwrap();
+        l.recv.wait().unwrap();
+        check_pattern(&l.rbuf, 32, 4096, round);
+    }
+    assert_eq!(l.send.completed_rounds(), rounds as u64);
+}
+
+#[test]
+fn multithreaded_parrived_consumers() {
+    // Receiver-side threads poll parrived for their partition and read the
+    // data as soon as it lands (receive-side compute, paper §V-E).
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::Persistent),
+        16,
+        1024,
+    );
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    fill_pattern(&l.sbuf, 16, 1024, 3);
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..16u32 {
+            let recv = &l.recv;
+            let rbuf = &l.rbuf;
+            let failed = &failed;
+            s.spawn(move || {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while !recv.parrived(t).unwrap() {
+                    if std::time::Instant::now() > deadline {
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+                let got = rbuf.read_vec(t as usize * 1024, 1024).unwrap();
+                if got != vec![3u8.wrapping_mul(31) ^ t as u8; 1024] {
+                    failed.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+        // Sender trickles partitions in.
+        for i in 0..16u32 {
+            l.send.pready(i).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    });
+    assert!(!failed.load(Ordering::Relaxed));
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+}
+
+#[test]
+fn error_paths() {
+    let l = instant_link(PartixConfig::with_aggregator(AggregatorKind::PLogGp), 4, 64);
+
+    // pready before start.
+    assert_eq!(l.send.pready(0), Err(PartixError::NotActive));
+
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+
+    // Double start.
+    assert_eq!(l.send.start(), Err(PartixError::AlreadyActive));
+    assert_eq!(l.recv.start(), Err(PartixError::AlreadyActive));
+
+    // Out-of-range partition.
+    assert!(matches!(
+        l.send.pready(4),
+        Err(PartixError::PartitionOutOfRange { index: 4, .. })
+    ));
+    assert!(matches!(
+        l.recv.parrived(99),
+        Err(PartixError::PartitionOutOfRange { .. })
+    ));
+
+    // Double pready.
+    l.send.pready(1).unwrap();
+    assert_eq!(
+        l.send.pready(1),
+        Err(PartixError::DoublePready { index: 1 })
+    );
+
+    l.send.pready_range(2, 4).unwrap();
+    l.send.pready(0).unwrap();
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+}
+
+#[test]
+fn init_validation() {
+    let world = World::instant(2, PartixConfig::default());
+    let p0 = world.proc(0);
+    let buf = p0.alloc_buffer(1024).unwrap();
+    assert!(matches!(
+        p0.psend_init(&buf, 0, 64, 1, 0),
+        Err(PartixError::BadPartitionCount { .. })
+    ));
+    assert!(matches!(
+        p0.psend_init(&buf, 4, 0, 1, 0),
+        Err(PartixError::ZeroPartitionSize)
+    ));
+    assert!(matches!(
+        p0.psend_init(&buf, 32, 64, 1, 0),
+        Err(PartixError::BufferTooSmall { .. })
+    ));
+    // Buffer from the wrong node.
+    let p1 = world.proc(1);
+    let other = p1.alloc_buffer(1024).unwrap();
+    assert!(matches!(
+        p0.psend_init(&other, 4, 64, 1, 0),
+        Err(PartixError::WrongNode)
+    ));
+}
+
+#[test]
+fn matching_is_fifo_per_tag() {
+    // Two sends with the same tag match two receives in posted order; a
+    // different tag matches independently.
+    let world = World::instant(2, PartixConfig::default());
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let s1buf = p0.alloc_buffer(256).unwrap();
+    let s2buf = p0.alloc_buffer(256).unwrap();
+    let r1buf = p1.alloc_buffer(256).unwrap();
+    let r2buf = p1.alloc_buffer(256).unwrap();
+
+    let s1 = p0.psend_init(&s1buf, 1, 256, 1, 5).unwrap();
+    let s2 = p0.psend_init(&s2buf, 1, 256, 1, 5).unwrap();
+    let r1 = p1.precv_init(&r1buf, 1, 256, 0, 5).unwrap();
+    let r2 = p1.precv_init(&r2buf, 1, 256, 0, 5).unwrap();
+
+    for r in [&r1, &r2] {
+        r.start().unwrap();
+    }
+    s1buf.fill(0, 256, 0x11).unwrap();
+    s2buf.fill(0, 256, 0x22).unwrap();
+    for s in [&s1, &s2] {
+        s.start().unwrap();
+        s.pready(0).unwrap();
+        s.wait().unwrap();
+    }
+    r1.wait().unwrap();
+    r2.wait().unwrap();
+    // FIFO: first send landed in first receive's buffer.
+    assert_eq!(r1buf.read_vec(0, 1).unwrap(), vec![0x11]);
+    assert_eq!(r2buf.read_vec(0, 1).unwrap(), vec![0x22]);
+}
+
+#[test]
+fn sim_mode_round_with_callbacks() {
+    let (world, sched) = World::sim(2, PartixConfig::with_aggregator(AggregatorKind::PLogGp));
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(8 * 1024).unwrap();
+    let rbuf = p1.alloc_buffer(8 * 1024).unwrap();
+    let send = p0.psend_init(&sbuf, 8, 1024, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 8, 1024, 0, 0).unwrap();
+
+    // Nothing is ready until the setup-delay event runs.
+    assert!(!send.is_ready());
+    assert_eq!(send.start(), Err(PartixError::ChannelNotReady));
+
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = done.clone();
+    let sbuf2 = sbuf.clone();
+    let send2 = send.clone();
+    let recv2 = recv.clone();
+    let sched2 = sched.clone();
+    send.on_ready(move || {
+        recv2.start().unwrap();
+        send2.start().unwrap();
+        sbuf2.fill(0, 8 * 1024, 0x5A).unwrap();
+        recv2.on_complete(move || done2.store(true, Ordering::Release));
+        // Threads finish compute at staggered virtual times.
+        for i in 0..8u32 {
+            let send3 = send2.clone();
+            sched2.after(SimDuration::from_micros(10 + i as u64), move || {
+                send3.pready(i).unwrap();
+            });
+        }
+    });
+    sched.run();
+    assert!(done.load(Ordering::Acquire));
+    assert_eq!(rbuf.read_vec(0, 8 * 1024).unwrap(), vec![0x5A; 8 * 1024]);
+    assert!(world.now().as_nanos() > 0);
+    // wait() must refuse to block on the virtual clock for an active round.
+    recv.start().unwrap();
+    assert_eq!(recv.wait(), Err(PartixError::WouldBlockInSim));
+}
+
+#[test]
+fn sim_mode_timer_aggregator_flush() {
+    // Virtual-clock version of the Fig. 5 walk-through, fully deterministic:
+    // preadys at t = 0/1/2 us for partitions {0,1,3}; delta = 50 us; the
+    // laggard (2) arrives at t = 200 us.
+    let mut cfg = PartixConfig::with_aggregator(AggregatorKind::TimerPLogGp);
+    cfg.delta = SimDuration::from_micros(50);
+    let (world, sched) = World::sim(2, cfg);
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(4 * 256).unwrap();
+    let rbuf = p1.alloc_buffer(4 * 256).unwrap();
+    let send = p0.psend_init(&sbuf, 4, 256, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 4, 256, 0, 0).unwrap();
+
+    let send2 = send.clone();
+    let recv2 = recv.clone();
+    let sched2 = sched.clone();
+    send.on_ready(move || {
+        recv2.start().unwrap();
+        send2.start().unwrap();
+        for (t_us, part) in [(0u64, 0u32), (1, 1), (2, 3), (200, 2)] {
+            let s = send2.clone();
+            sched2.after(SimDuration::from_micros(t_us), move || {
+                s.pready(part).unwrap();
+            });
+        }
+    });
+    sched.run();
+    assert_eq!(send.completed_rounds(), 1);
+    assert_eq!(recv.completed_rounds(), 1);
+    assert_eq!(
+        send.total_wrs_posted(),
+        3,
+        "flush posts runs {{0,1}} and {{3}}; laggard posts {{2}}"
+    );
+}
+
+#[test]
+fn sim_determinism() {
+    // Two identical simulated runs complete at the identical virtual instant.
+    fn run() -> u64 {
+        let (world, sched) = World::sim(2, PartixConfig::with_aggregator(AggregatorKind::PLogGp));
+        let p0 = world.proc(0);
+        let p1 = world.proc(1);
+        let sbuf = p0.alloc_buffer(32 * 2048).unwrap();
+        let rbuf = p1.alloc_buffer(32 * 2048).unwrap();
+        let send = p0.psend_init(&sbuf, 32, 2048, 1, 0).unwrap();
+        let recv = p1.precv_init(&rbuf, 32, 2048, 0, 0).unwrap();
+        let send2 = send.clone();
+        let recv2 = recv.clone();
+        let sched2 = sched.clone();
+        send.on_ready(move || {
+            recv2.start().unwrap();
+            send2.start().unwrap();
+            for i in 0..32u32 {
+                let s = send2.clone();
+                sched2.after(SimDuration::from_micros((i * 3) as u64), move || {
+                    s.pready(i).unwrap();
+                });
+            }
+        });
+        sched.run();
+        assert_eq!(recv.completed_rounds(), 1);
+        sched.now().as_nanos()
+    }
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn persistent_beats_nothing_but_matches_wr_count_at_high_partitions() {
+    // 128 partitions: persistent posts 128 WRs (2 QPs worth of caps handled
+    // via the software pending queue); the PLogGP aggregator posts far
+    // fewer. This is the paper's core wire-efficiency claim.
+    let persistent = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::Persistent),
+        128,
+        4096,
+    );
+    let ploggp = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::PLogGp),
+        128,
+        4096,
+    );
+    for l in [&persistent, &ploggp] {
+        l.recv.start().unwrap();
+        l.send.start().unwrap();
+        for i in 0..128 {
+            l.send.pready(i).unwrap();
+        }
+        l.send.wait().unwrap();
+        l.recv.wait().unwrap();
+    }
+    assert_eq!(persistent.send.total_wrs_posted(), 128);
+    assert!(
+        ploggp.send.total_wrs_posted() <= 2,
+        "512 KiB total should aggregate heavily, got {} WRs",
+        ploggp.send.total_wrs_posted()
+    );
+}
+
+#[test]
+fn event_sink_sees_lifecycle() {
+    use partix_core::EventSink;
+    use partix_sim::SimTime;
+
+    #[derive(Default)]
+    struct Counter {
+        starts: std::sync::atomic::AtomicU32,
+        preadys: std::sync::atomic::AtomicU32,
+        wrs: std::sync::atomic::AtomicU32,
+        arrivals: std::sync::atomic::AtomicU32,
+        completes: std::sync::atomic::AtomicU32,
+    }
+    impl EventSink for Counter {
+        fn on_send_start(&self, _r: u32, _q: u64, _round: u64, _t: SimTime) {
+            self.starts.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_pready(&self, _r: u32, _q: u64, _p: u32, _t: SimTime) {
+            self.preadys.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_wr_posted(&self, _r: u32, _q: u64, _lo: u32, _n: u32, _t: SimTime) {
+            self.wrs.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_partition_arrived(&self, _r: u32, _q: u64, _p: u32, _t: SimTime) {
+            self.arrivals.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_recv_complete(&self, _r: u32, _q: u64, _round: u64, _t: SimTime) {
+            self.completes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::Persistent),
+        4,
+        128,
+    );
+    let sink = Arc::new(Counter::default());
+    l.world.set_event_sink(sink.clone());
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    for i in 0..4 {
+        l.send.pready(i).unwrap();
+    }
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+    assert_eq!(sink.starts.load(Ordering::Relaxed), 1);
+    assert_eq!(sink.preadys.load(Ordering::Relaxed), 4);
+    assert_eq!(sink.wrs.load(Ordering::Relaxed), 4);
+    assert_eq!(sink.arrivals.load(Ordering::Relaxed), 4);
+    assert_eq!(sink.completes.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn pready_list_commits_in_order() {
+    let l = instant_link(
+        PartixConfig::with_aggregator(AggregatorKind::PLogGp),
+        8,
+        128,
+    );
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    fill_pattern(&l.sbuf, 8, 128, 2);
+    // MPI_Pready_list with a scrambled, complete index set.
+    l.send.pready_list(&[6, 0, 3, 7, 1, 5, 2, 4]).unwrap();
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+    check_pattern(&l.rbuf, 8, 128, 2);
+
+    // A list with a duplicate fails at the duplicate but keeps earlier
+    // commits (local-completion semantics).
+    l.recv.start().unwrap();
+    l.send.start().unwrap();
+    let err = l.send.pready_list(&[0, 1, 1, 2]).unwrap_err();
+    assert_eq!(err, PartixError::DoublePready { index: 1 });
+    l.send.pready_list(&[2, 3, 4, 5, 6, 7]).unwrap();
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+}
+
+#[test]
+fn start_blocking_waits_for_channel_setup() {
+    // In instant mode matching is synchronous, so start_blocking reduces to
+    // start; the interesting property is that it is *rejected* on the
+    // virtual clock where blocking cannot advance time.
+    let l = instant_link(PartixConfig::default(), 2, 64);
+    l.recv.start_blocking().unwrap();
+    l.send.start_blocking().unwrap();
+    l.send.pready_range(0, 2).unwrap();
+    l.send.wait().unwrap();
+    l.recv.wait().unwrap();
+
+    let (world, _sched) = World::sim(2, PartixConfig::default());
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(64).unwrap();
+    let rbuf = p1.alloc_buffer(64).unwrap();
+    let send = p0.psend_init(&sbuf, 1, 64, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 1, 64, 0, 0).unwrap();
+    assert_eq!(send.start_blocking(), Err(PartixError::WouldBlockInSim));
+    assert_eq!(recv.start_blocking(), Err(PartixError::WouldBlockInSim));
+}
+
+#[test]
+fn adaptive_delta_converges_to_arrival_spread() {
+    // The paper's named future work (§IV-D): online tuning of delta from
+    // the observed arrival pattern. Threads spread over ~60 us with a 4 ms
+    // laggard; delta starts badly mis-tuned at 1 us, so round 1 flushes
+    // many small runs. After adaptation, delta tracks ~1.2x the non-laggard
+    // spread and each round needs only a handful of WRs.
+    let mut cfg = PartixConfig::with_aggregator(AggregatorKind::TimerPLogGp);
+    cfg.delta = SimDuration::from_micros(1);
+    cfg.adaptive_delta = true;
+    cfg.fabric.copy_data = false;
+    let (world, sched) = World::sim(2, cfg);
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let partitions = 16u32;
+    let part_bytes = 2048usize;
+    let sbuf = p0
+        .alloc_buffer_virtual(partitions as usize * part_bytes)
+        .unwrap();
+    let rbuf = p1
+        .alloc_buffer_virtual(partitions as usize * part_bytes)
+        .unwrap();
+    let send = p0.psend_init(&sbuf, partitions, part_bytes, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, partitions, part_bytes, 0, 0).unwrap();
+
+    let wrs_per_round = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+    let deltas = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+
+    struct Round {
+        send: partix_core::PsendRequest,
+        recv: partix_core::PrecvRequest,
+        sched: partix_core::Scheduler,
+        wrs: Arc<parking_lot::Mutex<Vec<u64>>>,
+        deltas: Arc<parking_lot::Mutex<Vec<u64>>>,
+        remaining: std::sync::atomic::AtomicUsize,
+        partitions: u32,
+    }
+    impl Round {
+        fn go(self: &Arc<Self>) {
+            let before = self.send.total_wrs_posted();
+            self.recv.start().unwrap();
+            self.send.start().unwrap();
+            let me = self.clone();
+            self.recv.on_complete(move || {
+                me.wrs.lock().push(me.send.total_wrs_posted() - before);
+                me.deltas
+                    .lock()
+                    .push(me.send.current_delta().unwrap().as_nanos());
+                if me.remaining.fetch_sub(1, Ordering::AcqRel) > 1 {
+                    let me2 = me.clone();
+                    me.sched
+                        .after(SimDuration::from_micros(1), move || me2.go());
+                }
+            });
+            // Non-laggard arrivals spread evenly over 60 us; the laggard
+            // (partition 0) at +4 ms.
+            for i in 0..self.partitions {
+                let s = self.send.clone();
+                let at = if i == 0 {
+                    SimDuration::from_millis(4)
+                } else {
+                    SimDuration::from_nanos(i as u64 * 4_000)
+                };
+                self.sched.after(at, move || s.pready(i).unwrap());
+            }
+        }
+    }
+    let driver = Arc::new(Round {
+        send: send.clone(),
+        recv,
+        sched: sched.clone(),
+        wrs: wrs_per_round.clone(),
+        deltas: deltas.clone(),
+        remaining: std::sync::atomic::AtomicUsize::new(6),
+        partitions,
+    });
+    let d2 = driver.clone();
+    send.on_ready(move || d2.go());
+    sched.run();
+
+    let wrs = wrs_per_round.lock().clone();
+    let deltas = deltas.lock().clone();
+    assert_eq!(wrs.len(), 6);
+    // Round 1 (delta = 1 us): the flush catches few arrivals; many WRs.
+    assert!(wrs[0] >= 4, "mis-tuned delta should fragment: {wrs:?}");
+    // Adapted rounds: one early-bird flush + the laggard.
+    assert_eq!(wrs[5], 2, "adapted delta should need 2 WRs: {wrs:?}");
+    // Delta converged to ~1.2x the 56 us non-laggard spread (within 25%).
+    let last = *deltas.last().unwrap() as f64;
+    let expect = 1.2 * 56_000.0;
+    assert!(
+        (last - expect).abs() / expect < 0.25,
+        "delta {last} should be near {expect}: {deltas:?}"
+    );
+}

@@ -1,0 +1,97 @@
+//! Ordinary least-squares line fitting, used by the Netgauge-style parameter
+//! extraction.
+
+/// Result of a simple linear regression `y = slope * x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination; 1.0 for a perfect fit.
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of a line through `(x, y)` points. Panics if fewer than
+/// two points are supplied or if all `x` values coincide (the slope would be
+/// undefined).
+pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "all x values identical; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let f = fit_line(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 7.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_approximated() {
+        // Deterministic +/- perturbation.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let f = fit_line(&pts);
+        assert!((f.slope - 2.0).abs() < 1e-3);
+        assert!((f.intercept - 1.0).abs() < 0.6);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn flat_line_has_unit_r2() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let f = fit_line(&pts);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_single_point() {
+        fit_line(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn rejects_vertical_line() {
+        fit_line(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,134 @@
+//! # partix-model
+//!
+//! LogGP and Partitioned-LogGP (PLogGP) performance models for the `partix`
+//! reproduction of *"A Dynamic Network-Native MPI Partitioned Aggregation
+//! Over InfiniBand Verbs"* (CLUSTER 2023).
+//!
+//! The crate provides:
+//!
+//! - [`LogGpParams`] — the five LogGP parameters, with Niagara-calibrated
+//!   presets at MPI and Verbs level;
+//! - [`PLogGpModel`] — completion-time evaluators for simultaneous,
+//!   many-before-one (early-bird) and custom arrival patterns (paper §II-C,
+//!   Fig. 2/3);
+//! - [`optimal_transport_partitions`](PLogGpModel::optimal_transport_partitions)
+//!   and [`table1`] — the model-driven aggregation decision reproducing the
+//!   paper's Table I;
+//! - [`netgauge`] — Netgauge-style parameter assessment (measure micro
+//!   benchmarks, fit L, o_s, o_r, g, G by regression), closing the paper's
+//!   measure→model→decide loop.
+//!
+//! # Example
+//!
+//! ```
+//! use partix_model::{PLogGpModel, DEFAULT_DECISION_DELAY_NS};
+//!
+//! let model = PLogGpModel::niagara();
+//! // Table I: a 2 MiB buffer over up to 32 partitions should be sent as
+//! // 4 transport partitions.
+//! let t = model.optimal_transport_partitions(2 << 20, 32, DEFAULT_DECISION_DELAY_NS);
+//! assert_eq!(t, 4);
+//! // And the model prices the many-before-one completion directly:
+//! let ns = model.completion_many_before_one(2 << 20, t, 4_000_000.0);
+//! assert!(ns > 4_000_000.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fit;
+mod loggp;
+pub mod netgauge;
+mod optimal;
+mod patterns;
+mod ploggp;
+
+pub use fit::{fit_line, LineFit};
+pub use loggp::LogGpParams;
+pub use optimal::{pow2_candidates, table1, Table1Row, DEFAULT_DECISION_DELAY_NS};
+pub use ploggp::{ArrivalPattern, PLogGpModel};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_params() -> impl Strategy<Value = LogGpParams> {
+        (
+            1.0..10_000.0f64,
+            1.0..10_000.0f64,
+            1.0..10_000.0f64,
+            1.0..50_000.0f64,
+            0.01..2.0f64,
+        )
+            .prop_map(|(l, o_s, o_r, g, big_g)| LogGpParams {
+                l,
+                o_s,
+                o_r,
+                g,
+                big_g,
+            })
+    }
+
+    proptest! {
+        /// Completion time is always positive and at least the wire time of
+        /// the data.
+        #[test]
+        fn completion_bounded_below_by_wire_time(
+            p in arb_params(),
+            size in 1usize..(64 << 20),
+            parts_log in 0u32..8,
+            delay in 0.0..10e6f64,
+        ) {
+            let m = PLogGpModel::new(p);
+            let t = 1u32 << parts_log;
+            let c = m.completion_many_before_one(size, t, delay);
+            // The last transport partition's bytes must cross the wire after
+            // the laggard arrives.
+            prop_assert!(c >= delay + p.big_g * (size as f64 / t as f64));
+            let cs = m.completion_simultaneous(size, t);
+            prop_assert!(cs > 0.0);
+        }
+
+        /// The chosen optimum never loses to any other power-of-two
+        /// candidate.
+        #[test]
+        fn optimum_is_argmin(
+            p in arb_params(),
+            size in 1usize..(512 << 20),
+            user_parts_log in 0u32..8,
+            delay in 0.0..10e6f64,
+        ) {
+            let m = PLogGpModel::new(p);
+            let user_parts = 1u32 << user_parts_log;
+            let best = m.optimal_transport_partitions(size, user_parts, delay);
+            let best_time = m.completion_many_before_one(size, best, delay);
+            for cand in pow2_candidates(user_parts) {
+                prop_assert!(
+                    best_time <= m.completion_many_before_one(size, cand, delay) + 1e-9,
+                    "candidate {cand} beats chosen {best}"
+                );
+            }
+            prop_assert!(best <= user_parts);
+            prop_assert!(best.is_power_of_two());
+        }
+
+        /// Pipeline evaluation: delaying any partition can never reduce the
+        /// completion time.
+        #[test]
+        fn pipeline_monotone_in_ready_times(
+            p in arb_params(),
+            k in 1usize..(1 << 20),
+            base in proptest::collection::vec(0.0..1e6f64, 1..16),
+            idx_seed in 0usize..16,
+            extra in 0.0..1e6f64,
+        ) {
+            let m = PLogGpModel::new(p);
+            let before = m.completion_pipeline(&base, k);
+            let mut later = base.clone();
+            let idx = idx_seed % later.len();
+            later[idx] += extra;
+            let after = m.completion_pipeline(&later, k);
+            prop_assert!(after + 1e-6 >= before);
+        }
+    }
+}

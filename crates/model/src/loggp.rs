@@ -1,0 +1,151 @@
+//! LogGP parameter sets.
+//!
+//! LogGP (Alexandrov et al., 1997) models point-to-point communication with
+//! five parameters: network latency `L`, sender/receiver CPU overheads
+//! `o_s`/`o_r`, the minimum gap between successive messages `g`, and the time
+//! per byte `G`. All times here are nanoseconds; `G` is ns/byte.
+
+use serde::{Deserialize, Serialize};
+
+/// A LogGP parameter set (times in ns, `big_g` in ns/byte).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogGpParams {
+    /// Network latency `L` (ns): wire + switch traversal time.
+    pub l: f64,
+    /// Sender CPU overhead `o_s` (ns) per message.
+    pub o_s: f64,
+    /// Receiver CPU overhead `o_r` (ns) per message.
+    pub o_r: f64,
+    /// Gap `g` (ns): minimum interval between successive message injections.
+    pub g: f64,
+    /// Gap per byte `G` (ns/byte): reciprocal bandwidth for long messages.
+    pub big_g: f64,
+}
+
+impl LogGpParams {
+    /// MPI-transport-level parameters measured (Netgauge MPI module style) on
+    /// an EDR InfiniBand system comparable to Niagara, and calibrated so the
+    /// PLogGP optimal-aggregation table reproduces the paper's Table I:
+    /// the per-message term `max(g, o_s, o_r)` must fall in
+    /// `(128 KiB * G, 256 KiB * G]`; with `G = 1/11 GB/s` that interval is
+    /// `(11.9 us, 23.8 us]` and we use `g = 16 us`.
+    pub fn niagara_mpi() -> Self {
+        LogGpParams {
+            l: 1_600.0,
+            o_s: 2_000.0,
+            o_r: 2_000.0,
+            g: 16_000.0,
+            // 11 GB/s achievable on 100 Gb/s EDR.
+            big_g: 1e9 / 11e9,
+        }
+    }
+
+    /// Verbs-transport-level parameters for the same fabric: the hardware
+    /// itself has far smaller per-message costs than the MPI software stack.
+    /// Used as the default cost model of the simulated fabric.
+    pub fn niagara_verbs() -> Self {
+        LogGpParams {
+            l: 1_000.0,
+            o_s: 150.0,
+            o_r: 300.0,
+            g: 450.0,
+            big_g: 1e9 / 11.5e9,
+        }
+    }
+
+    /// The per-message pipeline gap the PLogGP model charges: the largest of
+    /// `g`, `o_s`, `o_r` (a message cannot be issued faster than any of the
+    /// three serial stages can retire it).
+    #[inline]
+    pub fn gap_term(&self) -> f64 {
+        self.g.max(self.o_s).max(self.o_r)
+    }
+
+    /// Asymptotic bandwidth in bytes/second implied by `G`.
+    #[inline]
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        1e9 / self.big_g
+    }
+
+    /// Classic LogGP time for a single `k`-byte message:
+    /// `o_s + G*(k-1) + L + o_r`.
+    #[inline]
+    pub fn single_message_time(&self, k: usize) -> f64 {
+        self.o_s + self.big_g * (k.saturating_sub(1)) as f64 + self.l + self.o_r
+    }
+
+    /// Validate physical plausibility (all parameters positive and finite).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("L", self.l),
+            ("o_s", self.o_s),
+            ("o_r", self.o_r),
+            ("g", self.g),
+            ("G", self.big_g),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "LogGP parameter {name} = {v} is not a finite non-negative number"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn niagara_calibration_window() {
+        // The calibration constraint that reproduces the paper's Table I:
+        // gap_term in (128 KiB * G, 256 KiB * G].
+        let p = LogGpParams::niagara_mpi();
+        let lo = 131_072.0 * p.big_g;
+        let hi = 262_144.0 * p.big_g;
+        let gap = p.gap_term();
+        assert!(gap > lo && gap <= hi, "gap {gap} outside ({lo}, {hi}]");
+    }
+
+    #[test]
+    fn single_message_matches_formula() {
+        let p = LogGpParams {
+            l: 10.0,
+            o_s: 3.0,
+            o_r: 4.0,
+            g: 5.0,
+            big_g: 2.0,
+        };
+        assert_eq!(p.single_message_time(6), 3.0 + 2.0 * 5.0 + 10.0 + 4.0);
+        // One byte: no G term.
+        assert_eq!(p.single_message_time(1), 3.0 + 10.0 + 4.0);
+    }
+
+    #[test]
+    fn gap_term_takes_max() {
+        let p = LogGpParams {
+            l: 1.0,
+            o_s: 9.0,
+            o_r: 2.0,
+            g: 5.0,
+            big_g: 0.1,
+        };
+        assert_eq!(p.gap_term(), 9.0);
+    }
+
+    #[test]
+    fn bandwidth_inverse_of_g() {
+        let p = LogGpParams::niagara_mpi();
+        let bw = p.bandwidth_bytes_per_sec();
+        assert!((bw - 11e9).abs() / 11e9 < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut p = LogGpParams::niagara_mpi();
+        p.l = f64::NAN;
+        assert!(p.validate().is_err());
+        assert!(LogGpParams::niagara_verbs().validate().is_ok());
+    }
+}

@@ -1,0 +1,177 @@
+//! Netgauge-style LogGP parameter assessment.
+//!
+//! The paper measures LogGP parameters with Netgauge's MPI module and feeds
+//! them into PLogGP. We reproduce that measure-then-fit loop: a
+//! [`MeasurementProvider`] runs micro-benchmarks on the transport under test
+//! (in `partix` that is the simulated fabric, wired up in
+//! `partix-workloads`), and [`assess`] extracts `L, o_s, o_r, g, G` by
+//! regression:
+//!
+//! - `G` is the slope of half round-trip time over message size (large
+//!   messages);
+//! - `o_s`/`o_r` are measured directly (time spent inside the post /
+//!   completion-processing call);
+//! - `L` is the half-RTT intercept minus the overheads;
+//! - `g` is the per-message slope of a back-to-back burst at a small message
+//!   size, i.e. the sustainable message-rate reciprocal.
+
+use crate::fit::fit_line;
+use crate::loggp::LogGpParams;
+
+/// Runs micro-benchmarks against a transport and reports raw timings (ns).
+pub trait MeasurementProvider {
+    /// Round-trip time for a `size`-byte ping-pong.
+    fn rtt_ns(&mut self, size: usize) -> f64;
+    /// Time from first post to last send completion for `n` back-to-back
+    /// `size`-byte messages.
+    fn burst_ns(&mut self, size: usize, n: usize) -> f64;
+    /// CPU time spent inside a single send post call for `size` bytes.
+    fn send_overhead_ns(&mut self, size: usize) -> f64;
+    /// CPU time spent processing a single receive completion of `size` bytes.
+    fn recv_overhead_ns(&mut self, size: usize) -> f64;
+}
+
+/// Outcome of a parameter assessment.
+#[derive(Clone, Copy, Debug)]
+pub struct Assessment {
+    /// The fitted LogGP parameters.
+    pub params: LogGpParams,
+    /// R-squared of the bandwidth (G) regression.
+    pub g_fit_r2: f64,
+    /// R-squared of the gap (message-rate) regression.
+    pub gap_fit_r2: f64,
+}
+
+/// Sizes used for the bandwidth regression (large enough that G dominates).
+const BW_SIZES: [usize; 6] = [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
+
+/// Burst lengths for the message-rate regression.
+const BURST_NS_COUNTS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Small message size for the gap regression: big enough to be a real
+/// message, small enough that `G*k` is negligible against `g`.
+const GAP_PROBE_SIZE: usize = 8;
+
+/// Number of repetitions averaged per raw measurement.
+const REPS: usize = 5;
+
+fn avg<F: FnMut() -> f64>(mut f: F) -> f64 {
+    (0..REPS).map(|_| f()).sum::<f64>() / REPS as f64
+}
+
+/// Run the assessment against `provider`.
+pub fn assess(provider: &mut dyn MeasurementProvider) -> Assessment {
+    // 1. Bandwidth: half-RTT(s) ~= (o_s + o_r + L - G) + G*s.
+    let bw_points: Vec<(f64, f64)> = BW_SIZES
+        .iter()
+        .map(|&s| (s as f64, avg(|| provider.rtt_ns(s)) / 2.0))
+        .collect();
+    let bw_fit = fit_line(&bw_points);
+    let big_g = bw_fit.slope.max(1e-6);
+
+    // 2. Direct overheads at a small size.
+    let o_s = avg(|| provider.send_overhead_ns(GAP_PROBE_SIZE)).max(1.0);
+    let o_r = avg(|| provider.recv_overhead_ns(GAP_PROBE_SIZE)).max(1.0);
+
+    // 3. Latency from the half-RTT intercept.
+    let l = (bw_fit.intercept - o_s - o_r + big_g).max(1.0);
+
+    // 4. Gap from the burst slope at a small size: burst(n) ~= c + n*max(g, G*k).
+    let gap_points: Vec<(f64, f64)> = BURST_NS_COUNTS
+        .iter()
+        .map(|&n| (n as f64, avg(|| provider.burst_ns(GAP_PROBE_SIZE, n))))
+        .collect();
+    let gap_fit = fit_line(&gap_points);
+    let g = (gap_fit.slope - big_g * GAP_PROBE_SIZE as f64).max(1.0);
+
+    Assessment {
+        params: LogGpParams {
+            l,
+            o_s,
+            o_r,
+            g,
+            big_g,
+        },
+        g_fit_r2: bw_fit.r_squared,
+        gap_fit_r2: gap_fit.r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic provider that behaves exactly like an ideal LogGP
+    /// network, for validating parameter recovery.
+    struct IdealLogGp {
+        p: LogGpParams,
+    }
+
+    impl MeasurementProvider for IdealLogGp {
+        fn rtt_ns(&mut self, size: usize) -> f64 {
+            2.0 * (self.p.o_s + self.p.big_g * size as f64 + self.p.l + self.p.o_r - self.p.big_g)
+        }
+        fn burst_ns(&mut self, size: usize, n: usize) -> f64 {
+            // o_s + n * max(g, G*k) + tail costs (constant in n).
+            let per = self.p.g.max(self.p.big_g * size as f64);
+            self.p.o_s + n as f64 * per + self.p.l
+        }
+        fn send_overhead_ns(&mut self, _size: usize) -> f64 {
+            self.p.o_s
+        }
+        fn recv_overhead_ns(&mut self, _size: usize) -> f64 {
+            self.p.o_r
+        }
+    }
+
+    #[test]
+    fn recovers_ideal_parameters() {
+        let truth = LogGpParams::niagara_mpi();
+        let mut prov = IdealLogGp { p: truth };
+        let a = assess(&mut prov);
+        let p = a.params;
+        assert!(
+            (p.big_g - truth.big_g).abs() / truth.big_g < 0.01,
+            "G off: {}",
+            p.big_g
+        );
+        assert!((p.o_s - truth.o_s).abs() / truth.o_s < 0.01);
+        assert!((p.o_r - truth.o_r).abs() / truth.o_r < 0.01);
+        assert!((p.l - truth.l).abs() / truth.l < 0.05, "L off: {}", p.l);
+        assert!((p.g - truth.g).abs() / truth.g < 0.05, "g off: {}", p.g);
+        assert!(a.g_fit_r2 > 0.999);
+        assert!(a.gap_fit_r2 > 0.999);
+    }
+
+    #[test]
+    fn fitted_params_validate() {
+        let mut prov = IdealLogGp {
+            p: LogGpParams::niagara_verbs(),
+        };
+        let a = assess(&mut prov);
+        assert!(a.params.validate().is_ok());
+    }
+
+    #[test]
+    fn table1_survives_fit_round_trip() {
+        // Feeding the *fitted* parameters back into the PLogGP optimiser must
+        // give the same aggregation decisions as the ground truth --- the
+        // whole point of the paper's Netgauge->PLogGP pipeline.
+        use crate::optimal::DEFAULT_DECISION_DELAY_NS;
+        use crate::ploggp::PLogGpModel;
+        let truth = PLogGpModel::niagara();
+        let mut prov = IdealLogGp {
+            p: LogGpParams::niagara_mpi(),
+        };
+        let fitted = PLogGpModel::new(assess(&mut prov).params);
+        let mut size = 4usize << 10;
+        while size <= 512 << 20 {
+            assert_eq!(
+                truth.unconstrained_optimal_transport_partitions(size, DEFAULT_DECISION_DELAY_NS),
+                fitted.unconstrained_optimal_transport_partitions(size, DEFAULT_DECISION_DELAY_NS),
+                "decision diverged at {size} bytes"
+            );
+            size <<= 1;
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Extended arrival-pattern studies (from the PLogGP paper the design
+//! builds on — Schonbein et al., ICPP'23) and the disaggregation argument
+//! of §IV-C.
+//!
+//! The aggregation decision in the runtime only uses the many-before-one
+//! scenario, but the model supports the other canonical patterns for
+//! analysis:
+//!
+//! - **one-before-many**: one partition ready immediately, the rest delayed
+//!   (e.g. the owning thread finishes early);
+//! - **uniform spread**: partitions ready at evenly spaced instants across
+//!   a window (e.g. a work-stealing loop draining);
+//! - **early-bird benefit**: how much a pattern gains over waiting for the
+//!   full buffer (the quantity the ICPP'23 paper bounds).
+
+use crate::ploggp::PLogGpModel;
+
+impl PLogGpModel {
+    /// Completion time (ns) for the one-before-many pattern: partition 0
+    /// ready at t = 0, the remaining `transport_parts - 1` at `delay_ns`.
+    pub fn completion_one_before_many(
+        &self,
+        total_bytes: usize,
+        transport_parts: u32,
+        delay_ns: f64,
+    ) -> f64 {
+        assert!(transport_parts >= 1);
+        let ready: Vec<f64> = (0..transport_parts)
+            .map(|i| if i == 0 { 0.0 } else { delay_ns })
+            .collect();
+        self.completion_pipeline(&ready, total_bytes / transport_parts as usize)
+    }
+
+    /// Completion time (ns) when partitions become ready evenly spread over
+    /// `window_ns`: arrival `i` at `window * i / (T - 1)`, so the first is
+    /// at 0 and the last exactly at the window's end.
+    pub fn completion_uniform_spread(
+        &self,
+        total_bytes: usize,
+        transport_parts: u32,
+        window_ns: f64,
+    ) -> f64 {
+        assert!(transport_parts >= 1);
+        let span = (transport_parts - 1).max(1) as f64;
+        let ready: Vec<f64> = (0..transport_parts)
+            .map(|i| window_ns * i as f64 / span)
+            .collect();
+        self.completion_pipeline(&ready, total_bytes / transport_parts as usize)
+    }
+
+    /// The early-bird benefit of a pattern: the time saved versus deferring
+    /// the entire buffer until the last partition is ready and sending it
+    /// as one message (what plain point-to-point would do). Positive values
+    /// mean partitioned communication helps.
+    pub fn early_bird_benefit(&self, total_bytes: usize, ready_ns: &[f64]) -> f64 {
+        assert!(!ready_ns.is_empty());
+        let k = total_bytes / ready_ns.len();
+        let partitioned = self.completion_pipeline(ready_ns, k);
+        let last = ready_ns.iter().cloned().fold(0.0f64, f64::max);
+        let deferred = last + self.params.single_message_time(total_bytes);
+        deferred - partitioned
+    }
+
+    /// The §IV-C disaggregation question, answered by the model: how much
+    /// would splitting *below* user-partition granularity (transport >
+    /// user partitions) improve the many-before-one completion? Returns
+    /// `(best_disaggregated_transport, relative_gain)` where the gain is
+    /// against the best aggregation-only choice (transport <= user
+    /// partitions). The paper expects this to be small — disaggregation
+    /// "would result in issuing more transactions than necessary".
+    pub fn disaggregation_gain(
+        &self,
+        total_bytes: usize,
+        user_parts: u32,
+        delay_ns: f64,
+        max_split: u32,
+    ) -> (u32, f64) {
+        let best_agg = self.optimal_transport_partitions(total_bytes, user_parts, delay_ns);
+        let t_agg = self.completion_many_before_one(total_bytes, best_agg, delay_ns);
+        let mut best_t = best_agg;
+        let mut best = t_agg;
+        let mut cand = user_parts.max(1);
+        while cand <= max_split {
+            let t = self.completion_many_before_one(total_bytes, cand, delay_ns);
+            if t < best {
+                best = t;
+                best_t = cand;
+            }
+            cand <<= 1;
+        }
+        (best_t, (t_agg - best) / t_agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loggp::LogGpParams;
+
+    fn model() -> PLogGpModel {
+        PLogGpModel::niagara()
+    }
+
+    #[test]
+    fn one_before_many_dominated_by_the_delay() {
+        let m = model();
+        let t = m.completion_one_before_many(1 << 20, 8, 2e6);
+        assert!(t > 2e6, "cannot finish before the delayed partitions");
+        // The early partition's bytes hide inside the delay window.
+        let all_late = m.completion_pipeline(&[2e6; 8], (1 << 20) / 8);
+        assert!(t <= all_late);
+    }
+
+    #[test]
+    fn uniform_spread_overlaps_compute_and_wire() {
+        let m = model();
+        let spread = m.completion_uniform_spread(8 << 20, 16, 1e6);
+        let burst = m.completion_uniform_spread(8 << 20, 16, 0.0);
+        // A wide window cannot be faster than bursting everything at t=0
+        // plus the window, and must overlap at least part of the window.
+        assert!(spread >= burst);
+        assert!(spread < burst + 1e6);
+    }
+
+    #[test]
+    fn early_bird_benefit_positive_under_laggard() {
+        let m = model();
+        // 31 partitions at t=0, laggard at 4 ms: nearly the whole buffer
+        // overlaps the wait (the Fig. 10 situation).
+        let mut ready = vec![0.0f64; 31];
+        ready.push(4e6);
+        let benefit = m.early_bird_benefit(8 << 20, &ready);
+        // Deferring would add the full 8 MiB wire time after the laggard;
+        // partitioned sends all but one partition early.
+        let full_wire = m.params.big_g * (8 << 20) as f64;
+        assert!(
+            benefit > full_wire * 0.8,
+            "benefit {benefit} should approach the full wire time {full_wire}"
+        );
+    }
+
+    #[test]
+    fn early_bird_benefit_small_when_simultaneous() {
+        let m = model();
+        let ready = vec![0.0f64; 32];
+        let benefit = m.early_bird_benefit(64 << 10, &ready);
+        // All-at-once: partitioning only adds per-message gaps; the benefit
+        // must be negative (deferred single send is cheaper).
+        assert!(benefit < 0.0, "benefit {benefit}");
+    }
+
+    #[test]
+    fn disaggregation_gains_little_in_the_papers_range() {
+        // The §IV-C design argument: for the medium sizes the paper targets,
+        // splitting below user-partition granularity buys almost nothing.
+        let m = model();
+        for size in [256usize << 10, 1 << 20, 8 << 20] {
+            let (_, gain) = m.disaggregation_gain(size, 32, 4e6, 256);
+            assert!(
+                gain < 0.02,
+                "disaggregation gain at {size} bytes should be negligible, got {gain:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn disaggregation_can_matter_only_for_extreme_sizes() {
+        // Sanity: with enormous buffers and few user partitions the model
+        // does see room below user granularity (more pipelining), which is
+        // exactly why the check exists.
+        let m = model();
+        let (t, gain) = m.disaggregation_gain(1 << 30, 4, 4e6, 256);
+        assert!(t > 4, "expected a sub-partition split, got {t}");
+        assert!(gain > 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn patterns_respect_custom_params() {
+        let m = PLogGpModel::new(LogGpParams {
+            l: 1.0,
+            o_s: 1.0,
+            o_r: 1.0,
+            g: 1.0,
+            big_g: 1.0,
+        });
+        // 4 partitions of 1 byte each, all at zero: pipeline of 4 messages.
+        let t = m.completion_uniform_spread(4, 4, 0.0);
+        assert!(t > 4.0);
+    }
+}

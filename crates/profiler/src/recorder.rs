@@ -1,0 +1,221 @@
+//! The recording event sink.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use partix_core::EventSink;
+use partix_sim::SimTime;
+
+/// One recorded round of a send request.
+#[derive(Clone, Debug, Default)]
+pub struct RoundTrace {
+    /// Time `start` was called.
+    pub start: Option<SimTime>,
+    /// `(partition, time)` per `pready` call, in call order.
+    pub preadys: Vec<(u32, SimTime)>,
+    /// `(start partition, run length, time)` per posted WR.
+    pub wrs: Vec<(u32, u32, SimTime)>,
+    /// `(partition, time)` per receive-side arrival, in arrival order.
+    pub arrivals: Vec<(u32, SimTime)>,
+    /// Completion time.
+    pub complete: Option<SimTime>,
+}
+
+/// All rounds of one send request.
+#[derive(Clone, Debug, Default)]
+pub struct SendTrace {
+    /// Rank that owns the request.
+    pub rank: u32,
+    /// Rounds in order.
+    pub rounds: Vec<RoundTrace>,
+}
+
+/// All rounds of one receive request.
+#[derive(Clone, Debug, Default)]
+pub struct RecvTrace {
+    /// Rank that owns the request.
+    pub rank: u32,
+    /// Rounds in order.
+    pub rounds: Vec<RoundTrace>,
+}
+
+#[derive(Default)]
+struct Data {
+    sends: HashMap<u64, SendTrace>,
+    recvs: HashMap<u64, RecvTrace>,
+}
+
+/// The profiler: install with `World::set_event_sink` and harvest traces
+/// after the experiment.
+#[derive(Default)]
+pub struct Profiler {
+    data: Mutex<Data>,
+}
+
+impl Profiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trace of send request `req`, if it was observed.
+    pub fn send_trace(&self, req: u64) -> Option<SendTrace> {
+        self.data.lock().sends.get(&req).cloned()
+    }
+
+    /// Trace of receive request `req`, if it was observed.
+    pub fn recv_trace(&self, req: u64) -> Option<RecvTrace> {
+        self.data.lock().recvs.get(&req).cloned()
+    }
+
+    /// Identifiers of all observed send requests.
+    pub fn send_request_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.data.lock().sends.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Identifiers of all observed receive requests.
+    pub fn recv_request_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.data.lock().recvs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drop all recorded data.
+    pub fn clear(&self) {
+        let mut d = self.data.lock();
+        d.sends.clear();
+        d.recvs.clear();
+    }
+
+    fn with_send_round<F: FnOnce(&mut RoundTrace)>(&self, rank: u32, req: u64, f: F) {
+        let mut d = self.data.lock();
+        let t = d.sends.entry(req).or_insert_with(|| SendTrace {
+            rank,
+            rounds: Vec::new(),
+        });
+        if t.rounds.is_empty() {
+            t.rounds.push(RoundTrace::default());
+        }
+        f(t.rounds.last_mut().expect("non-empty rounds"));
+    }
+
+    fn with_recv_round<F: FnOnce(&mut RoundTrace)>(&self, rank: u32, req: u64, f: F) {
+        let mut d = self.data.lock();
+        let t = d.recvs.entry(req).or_insert_with(|| RecvTrace {
+            rank,
+            rounds: Vec::new(),
+        });
+        if t.rounds.is_empty() {
+            t.rounds.push(RoundTrace::default());
+        }
+        f(t.rounds.last_mut().expect("non-empty rounds"));
+    }
+}
+
+impl EventSink for Profiler {
+    fn on_send_start(&self, rank: u32, req: u64, _round: u64, t: SimTime) {
+        let mut d = self.data.lock();
+        let tr = d.sends.entry(req).or_insert_with(|| SendTrace {
+            rank,
+            rounds: Vec::new(),
+        });
+        tr.rounds.push(RoundTrace {
+            start: Some(t),
+            ..Default::default()
+        });
+    }
+
+    fn on_recv_start(&self, rank: u32, req: u64, _round: u64, t: SimTime) {
+        let mut d = self.data.lock();
+        let tr = d.recvs.entry(req).or_insert_with(|| RecvTrace {
+            rank,
+            rounds: Vec::new(),
+        });
+        tr.rounds.push(RoundTrace {
+            start: Some(t),
+            ..Default::default()
+        });
+    }
+
+    fn on_pready(&self, rank: u32, req: u64, partition: u32, t: SimTime) {
+        self.with_send_round(rank, req, |r| r.preadys.push((partition, t)));
+    }
+
+    fn on_wr_posted(&self, rank: u32, req: u64, lo: u32, count: u32, t: SimTime) {
+        self.with_send_round(rank, req, |r| r.wrs.push((lo, count, t)));
+    }
+
+    fn on_partition_arrived(&self, rank: u32, req: u64, partition: u32, t: SimTime) {
+        self.with_recv_round(rank, req, |r| r.arrivals.push((partition, t)));
+    }
+
+    fn on_send_complete(&self, rank: u32, req: u64, _round: u64, t: SimTime) {
+        self.with_send_round(rank, req, |r| r.complete = Some(t));
+    }
+
+    fn on_recv_complete(&self, rank: u32, req: u64, _round: u64, t: SimTime) {
+        self.with_recv_round(rank, req, |r| r.complete = Some(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_rounds_in_order() {
+        let p = Profiler::new();
+        p.on_send_start(0, 1, 1, SimTime(100));
+        p.on_pready(0, 1, 3, SimTime(150));
+        p.on_wr_posted(0, 1, 0, 4, SimTime(160));
+        p.on_send_complete(0, 1, 1, SimTime(200));
+        p.on_send_start(0, 1, 2, SimTime(300));
+        p.on_pready(0, 1, 0, SimTime(310));
+
+        let t = p.send_trace(1).unwrap();
+        assert_eq!(t.rank, 0);
+        assert_eq!(t.rounds.len(), 2);
+        assert_eq!(t.rounds[0].start, Some(SimTime(100)));
+        assert_eq!(t.rounds[0].preadys, vec![(3, SimTime(150))]);
+        assert_eq!(t.rounds[0].wrs, vec![(0, 4, SimTime(160))]);
+        assert_eq!(t.rounds[0].complete, Some(SimTime(200)));
+        assert_eq!(t.rounds[1].preadys, vec![(0, SimTime(310))]);
+        assert_eq!(t.rounds[1].complete, None);
+    }
+
+    #[test]
+    fn recv_side_tracked_separately() {
+        let p = Profiler::new();
+        p.on_recv_start(1, 2, 1, SimTime(0));
+        p.on_partition_arrived(1, 2, 5, SimTime(10));
+        p.on_recv_complete(1, 2, 1, SimTime(20));
+        let t = p.recv_trace(2).unwrap();
+        assert_eq!(t.rounds.len(), 1);
+        assert_eq!(t.rounds[0].arrivals, vec![(5, SimTime(10))]);
+        assert!(p.send_trace(2).is_none());
+        assert_eq!(p.recv_request_ids(), vec![2]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let p = Profiler::new();
+        p.on_send_start(0, 1, 1, SimTime(0));
+        p.clear();
+        assert!(p.send_trace(1).is_none());
+        assert!(p.send_request_ids().is_empty());
+    }
+
+    #[test]
+    fn events_before_start_create_implicit_round() {
+        // Robustness: a pready without a preceding start lands in an
+        // implicit first round rather than panicking.
+        let p = Profiler::new();
+        p.on_pready(0, 9, 2, SimTime(5));
+        let t = p.send_trace(9).unwrap();
+        assert_eq!(t.rounds.len(), 1);
+        assert_eq!(t.rounds[0].start, None);
+    }
+}

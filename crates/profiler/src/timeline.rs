@@ -1,0 +1,242 @@
+//! Per-round timelines: an ASCII-rendered view of one communication round
+//! (the live version of the paper's Figs. 10/11).
+//!
+//! For every user partition the timeline shows when it was committed
+//! (`pready`), when its work request hit the wire, and when it arrived at
+//! the receiver.
+
+use std::fmt::Write as _;
+
+use partix_sim::SimTime;
+
+use crate::recorder::RoundTrace;
+
+/// One partition's lifecycle within a round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionSpan {
+    /// Partition index.
+    pub partition: u32,
+    /// `pready` offset from round start (ns).
+    pub pready_ns: u64,
+    /// Offset of the WR covering this partition (ns), if one was recorded.
+    pub posted_ns: Option<u64>,
+    /// Receive-side arrival offset (ns), if recorded.
+    pub arrived_ns: Option<u64>,
+}
+
+/// A reconstructed round timeline.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Spans ordered by partition index.
+    pub spans: Vec<PartitionSpan>,
+    /// Round duration covered (ns).
+    pub horizon_ns: u64,
+}
+
+impl Timeline {
+    /// Join one round's send trace with the matching receive trace. The
+    /// receive round's `start` may differ slightly from the sender's; all
+    /// offsets are relative to the *sender's* round start.
+    pub fn from_round(send: &RoundTrace, recv: Option<&RoundTrace>) -> Option<Timeline> {
+        let t0 = send.start?;
+        let off = |t: SimTime| t.saturating_since(t0).as_nanos();
+        let mut spans: Vec<PartitionSpan> = send
+            .preadys
+            .iter()
+            .map(|(p, t)| PartitionSpan {
+                partition: *p,
+                pready_ns: off(*t),
+                posted_ns: None,
+                arrived_ns: None,
+            })
+            .collect();
+        spans.sort_by_key(|s| s.partition);
+        for (lo, count, t) in &send.wrs {
+            for p in *lo..*lo + *count {
+                if let Some(s) = spans.iter_mut().find(|s| s.partition == p) {
+                    s.posted_ns = Some(off(*t));
+                }
+            }
+        }
+        if let Some(r) = recv {
+            for (p, t) in &r.arrivals {
+                if let Some(s) = spans.iter_mut().find(|s| s.partition == *p) {
+                    s.arrived_ns = Some(off(*t));
+                }
+            }
+        }
+        let horizon = spans
+            .iter()
+            .flat_map(|s| [Some(s.pready_ns), s.posted_ns, s.arrived_ns])
+            .flatten()
+            .max()
+            .unwrap_or(0)
+            .max(send.complete.map(off).unwrap_or(0));
+        Some(Timeline {
+            spans,
+            horizon_ns: horizon,
+        })
+    }
+
+    /// Render an ASCII Gantt chart, `width` columns wide. Markers:
+    /// `.` compute (before pready), `r` pready, `w` WR posted, `#` in
+    /// flight, `A` arrived.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(16);
+        let scale = |ns: u64| -> usize {
+            if self.horizon_ns == 0 {
+                0
+            } else {
+                ((ns as f64 / self.horizon_ns as f64) * (width - 1) as f64).round() as usize
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timeline: {} partitions over {:.3} ms ('r' pready, 'w' posted, '#' in flight, 'A' arrived)",
+            self.spans.len(),
+            self.horizon_ns as f64 / 1e6
+        );
+        for s in &self.spans {
+            let mut row = vec![b'.'; width];
+            let r = scale(s.pready_ns);
+            for c in row.iter_mut().take(r) {
+                *c = b' ';
+            }
+            row[r] = b'r';
+            if let Some(w) = s.posted_ns {
+                let w = scale(w).min(width - 1);
+                if row[w] == b'.' || row[w] == b' ' {
+                    row[w] = b'w';
+                }
+                if let Some(a) = s.arrived_ns {
+                    let a = scale(a).min(width - 1);
+                    for c in row.iter_mut().take(a).skip(w + 1) {
+                        *c = b'#';
+                    }
+                    row[a] = b'A';
+                }
+            }
+            let _ = writeln!(
+                out,
+                "p{:>3} |{}|",
+                s.partition,
+                String::from_utf8(row).expect("ascii")
+            );
+        }
+        out
+    }
+
+    /// The laggard's pready offset, if any spans exist.
+    pub fn laggard_ns(&self) -> Option<u64> {
+        self.spans.iter().map(|s| s.pready_ns).max()
+    }
+
+    /// Rebase the timeline so t = 0 is the first `pready` — zooms past the
+    /// compute phase so the communication window fills the rendering.
+    pub fn focus_communication(mut self) -> Timeline {
+        let Some(first) = self.spans.iter().map(|s| s.pready_ns).min() else {
+            return self;
+        };
+        for s in &mut self.spans {
+            s.pready_ns -= first;
+            s.posted_ns = s.posted_ns.map(|v| v.saturating_sub(first));
+            s.arrived_ns = s.arrived_ns.map(|v| v.saturating_sub(first));
+        }
+        self.horizon_ns = self.horizon_ns.saturating_sub(first);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> (RoundTrace, RoundTrace) {
+        let send = RoundTrace {
+            start: Some(SimTime(1_000)),
+            preadys: vec![
+                (0, SimTime(1_100)),
+                (1, SimTime(1_200)),
+                (2, SimTime(5_000)),
+            ],
+            wrs: vec![(0, 2, SimTime(1_250)), (2, 1, SimTime(5_050))],
+            arrivals: Vec::new(),
+            complete: Some(SimTime(6_000)),
+        };
+        let recv = RoundTrace {
+            start: Some(SimTime(990)),
+            preadys: Vec::new(),
+            wrs: Vec::new(),
+            arrivals: vec![
+                (0, SimTime(2_000)),
+                (1, SimTime(2_000)),
+                (2, SimTime(5_800)),
+            ],
+            complete: Some(SimTime(5_900)),
+        };
+        (send, recv)
+    }
+
+    #[test]
+    fn joins_send_and_recv_rounds() {
+        let (send, recv) = trace();
+        let tl = Timeline::from_round(&send, Some(&recv)).unwrap();
+        assert_eq!(tl.spans.len(), 3);
+        assert_eq!(
+            tl.spans[0],
+            PartitionSpan {
+                partition: 0,
+                pready_ns: 100,
+                posted_ns: Some(250),
+                arrived_ns: Some(1_000),
+            }
+        );
+        // Partition 1 shares the aggregated WR with partition 0.
+        assert_eq!(tl.spans[1].posted_ns, Some(250));
+        assert_eq!(tl.spans[2].pready_ns, 4_000);
+        assert_eq!(tl.horizon_ns, 5_000);
+        assert_eq!(tl.laggard_ns(), Some(4_000));
+    }
+
+    #[test]
+    fn renders_marks_in_order() {
+        let (send, recv) = trace();
+        let tl = Timeline::from_round(&send, Some(&recv)).unwrap();
+        let text = tl.render(64);
+        assert!(text.contains("3 partitions"));
+        for line in text.lines().skip(1) {
+            let r = line.find('r').expect("pready mark");
+            let a = line.find('A').expect("arrival mark");
+            assert!(r < a, "pready must precede arrival: {line}");
+        }
+    }
+
+    #[test]
+    fn handles_missing_recv_side() {
+        let (send, _) = trace();
+        let tl = Timeline::from_round(&send, None).unwrap();
+        assert!(tl.spans.iter().all(|s| s.arrived_ns.is_none()));
+        let text = tl.render(40);
+        // Body rows (the header legend mentions 'A') carry no arrival marks.
+        assert!(text.lines().skip(1).all(|l| !l.contains('A')));
+    }
+
+    #[test]
+    fn requires_send_start() {
+        let tl = Timeline::from_round(&RoundTrace::default(), None);
+        assert!(tl.is_none());
+    }
+
+    #[test]
+    fn focus_rebased_to_first_pready() {
+        let (send, recv) = trace();
+        let tl = Timeline::from_round(&send, Some(&recv))
+            .unwrap()
+            .focus_communication();
+        assert_eq!(tl.spans[0].pready_ns, 0);
+        assert_eq!(tl.spans[2].pready_ns, 3_900);
+        assert_eq!(tl.horizon_ns, 4_900);
+        assert_eq!(tl.spans[0].arrived_ns, Some(900));
+    }
+}

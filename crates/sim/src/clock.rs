@@ -1,0 +1,178 @@
+//! Clock and timer abstractions.
+//!
+//! The MPI runtime is written against these traits so the same code runs on
+//! the virtual clock (benchmarks, figures) and on wall-clock time (examples,
+//! multi-threaded tests). `SimClock`/`SimTimer` are backed by a
+//! [`Scheduler`]; `RealClock`/`ThreadTimer` use `std::time` and spawned
+//! threads.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::scheduler::Scheduler;
+use crate::time::{SimDuration, SimTime};
+
+/// Source of "now". Implementations must be monotonic.
+pub trait Clock: Send + Sync {
+    /// Current time.
+    fn now(&self) -> SimTime;
+}
+
+/// One-shot delayed callbacks.
+pub trait Timer: Send + Sync {
+    /// Run `f` once, `delay` from now. Used by the timer-based aggregator for
+    /// its delta-expiry flush.
+    fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>);
+}
+
+/// Virtual clock view over a [`Scheduler`].
+#[derive(Clone)]
+pub struct SimClock(pub Scheduler);
+
+impl Clock for SimClock {
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+}
+
+impl Timer for SimClock {
+    fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
+        self.0.after(delay, f);
+    }
+}
+
+/// Wall-clock time relative to construction.
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// A clock whose zero is "now".
+    pub fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Timer that spawns a short-lived sleeper thread per callback. Adequate for
+/// examples and tests; the hot benchmarking paths all use `SimClock`.
+pub struct ThreadTimer;
+
+impl Timer for ThreadTimer {
+    fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_nanos(delay.as_nanos()));
+            f();
+        });
+    }
+}
+
+/// A clock+timer pair bundled for dependency injection.
+#[derive(Clone)]
+pub struct TimeSource {
+    clock: Arc<dyn Clock>,
+    timer: Arc<dyn Timer>,
+}
+
+impl TimeSource {
+    /// Virtual time source driven by `sched`.
+    pub fn simulated(sched: &Scheduler) -> Self {
+        let c = Arc::new(SimClock(sched.clone()));
+        TimeSource {
+            clock: c.clone(),
+            timer: c,
+        }
+    }
+
+    /// Wall-clock time source.
+    pub fn real() -> Self {
+        TimeSource {
+            clock: Arc::new(RealClock::new()),
+            timer: Arc::new(ThreadTimer),
+        }
+    }
+
+    /// Current time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Schedule a one-shot callback.
+    pub fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
+        self.timer.schedule(delay, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn sim_clock_tracks_scheduler() {
+        let sched = Scheduler::new();
+        let ts = TimeSource::simulated(&sched);
+        assert_eq!(ts.now(), SimTime(0));
+        sched.at(SimTime(500), || {});
+        sched.run();
+        assert_eq!(ts.now(), SimTime(500));
+    }
+
+    #[test]
+    fn sim_timer_schedules_on_queue() {
+        let sched = Scheduler::new();
+        let ts = TimeSource::simulated(&sched);
+        let fired = Arc::new(AtomicBool::new(false));
+        let f2 = fired.clone();
+        ts.schedule(
+            SimDuration::from_micros(7),
+            Box::new(move || f2.store(true, Ordering::Relaxed)),
+        );
+        assert!(!fired.load(Ordering::Relaxed));
+        sched.run();
+        assert!(fired.load(Ordering::Relaxed));
+        assert_eq!(sched.now(), SimTime(7_000));
+    }
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn thread_timer_fires() {
+        let ts = TimeSource::real();
+        let fired = Arc::new(AtomicBool::new(false));
+        let f2 = fired.clone();
+        ts.schedule(
+            SimDuration::from_micros(100),
+            Box::new(move || f2.store(true, Ordering::Release)),
+        );
+        // Wait generously.
+        for _ in 0..1_000 {
+            if fired.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("timer did not fire within 1s");
+    }
+}

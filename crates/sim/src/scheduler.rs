@@ -1,0 +1,292 @@
+//! The discrete-event scheduler.
+//!
+//! A [`Scheduler`] owns a priority queue of timestamped events. Events are
+//! boxed closures; executing an event may schedule further events through a
+//! clone of the same handle, which is why the queue lives behind a lock that
+//! is *not* held while an event runs.
+//!
+//! Determinism: two events scheduled for the same instant execute in the
+//! order they were scheduled (a monotonically increasing sequence number
+//! breaks ties), so a fixed seed yields a bit-identical simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event: a one-shot closure.
+type EventFn = Box<dyn FnOnce() + Send>;
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+// Min-heap ordering: earliest time first, then lowest sequence number.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that BinaryHeap (a max-heap) pops the earliest entry.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    now: AtomicU64,
+    seq: AtomicU64,
+    executed: AtomicU64,
+    queue: Mutex<BinaryHeap<Entry>>,
+}
+
+/// Handle to the discrete-event simulation. Cheap to clone; all clones share
+/// the same virtual clock and event queue.
+#[derive(Clone)]
+pub struct Scheduler {
+    inner: Arc<Inner>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// Create an empty simulation at t = 0.
+    pub fn new() -> Self {
+        Scheduler {
+            inner: Arc::new(Inner {
+                now: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                executed: AtomicU64::new(0),
+                queue: Mutex::new(BinaryHeap::new()),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.now.load(AtomicOrdering::Acquire))
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.inner.executed.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Schedule `f` to run at absolute time `t`. Scheduling in the past is a
+    /// logic error; the event is clamped to "now" so the simulation still
+    /// makes progress, which keeps real-time-adjacent code robust.
+    pub fn at(&self, t: SimTime, f: impl FnOnce() + Send + 'static) {
+        let now = self.now();
+        let t = t.max(now);
+        let seq = self.inner.seq.fetch_add(1, AtomicOrdering::Relaxed);
+        self.inner.queue.lock().push(Entry {
+            time: t,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `d` after the current virtual time.
+    pub fn after(&self, d: SimDuration, f: impl FnOnce() + Send + 'static) {
+        self.at(self.now() + d, f);
+    }
+
+    /// Execute the next pending event, advancing the clock to its timestamp.
+    /// Returns `false` when the queue is empty.
+    pub fn step(&self) -> bool {
+        let entry = {
+            let mut q = self.inner.queue.lock();
+            match q.pop() {
+                Some(e) => e,
+                None => return false,
+            }
+        };
+        debug_assert!(entry.time >= self.now(), "event queue went backwards");
+        self.inner
+            .now
+            .store(entry.time.as_nanos(), AtomicOrdering::Release);
+        (entry.f)();
+        self.inner.executed.fetch_add(1, AtomicOrdering::Relaxed);
+        true
+    }
+
+    /// Run until the event queue is empty. Returns the number of events
+    /// executed by this call.
+    pub fn run(&self) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run until the queue is empty or the next event is later than
+    /// `deadline` (which is left unexecuted). The clock does not advance past
+    /// the last executed event.
+    pub fn run_until(&self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            {
+                let q = self.inner.queue.lock();
+                match q.peek() {
+                    Some(e) if e.time <= deadline => {}
+                    _ => return n,
+                }
+            }
+            if !self.step() {
+                return n;
+            }
+            n += 1;
+        }
+    }
+
+    /// Run with a safety valve: panics if more than `max_events` execute,
+    /// which catches accidental event storms in tests.
+    pub fn run_bounded(&self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+            assert!(
+                n <= max_events,
+                "simulation exceeded {max_events} events; likely an event storm"
+            );
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_in_time_order() {
+        let sim = Scheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (t, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            sim.at(SimTime(t), move || log.lock().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.lock(), vec!['a', 'b', 'c']);
+        assert_eq!(sim.now(), SimTime(30));
+    }
+
+    #[test]
+    fn ties_execute_in_scheduling_order() {
+        let sim = Scheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..100 {
+            let log = log.clone();
+            sim.at(SimTime(42), move || log.lock().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let sim = Scheduler::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        fn chain(sim: Scheduler, count: Arc<AtomicUsize>, remaining: usize) {
+            if remaining == 0 {
+                return;
+            }
+            let s2 = sim.clone();
+            sim.after(SimDuration(5), move || {
+                count.fetch_add(1, AtomicOrdering::Relaxed);
+                chain(s2.clone(), count.clone(), remaining - 1);
+            });
+        }
+        chain(sim.clone(), count.clone(), 10);
+        sim.run();
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 10);
+        assert_eq!(sim.now(), SimTime(50));
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let sim = Scheduler::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = fired.clone();
+        let s2 = sim.clone();
+        sim.at(SimTime(100), move || {
+            let f3 = f2.clone();
+            // "Past" event: should fire at t=100, not break the heap.
+            s2.at(SimTime(1), move || {
+                f3.fetch_add(1, AtomicOrdering::Relaxed);
+            });
+        });
+        sim.run();
+        assert_eq!(fired.load(AtomicOrdering::Relaxed), 1);
+        assert_eq!(sim.now(), SimTime(100));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Scheduler::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        for t in [10u64, 20, 30, 40] {
+            let count = count.clone();
+            sim.at(SimTime(t), move || {
+                count.fetch_add(1, AtomicOrdering::Relaxed);
+            });
+        }
+        let n = sim.run_until(SimTime(25));
+        assert_eq!(n, 2);
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 2);
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "event storm")]
+    fn run_bounded_catches_storms() {
+        let sim = Scheduler::new();
+        fn storm(sim: Scheduler) {
+            let s2 = sim.clone();
+            sim.after(SimDuration(1), move || storm(s2.clone()));
+        }
+        storm(sim.clone());
+        sim.run_bounded(100);
+    }
+
+    #[test]
+    fn counters() {
+        let sim = Scheduler::new();
+        sim.at(SimTime(1), || {});
+        sim.at(SimTime(2), || {});
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.events_pending(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The fabric abstraction and the shared data-movement engine.
+//!
+//! A [`Fabric`] decides *when* a posted transfer's side effects occur. Two
+//! implementations exist:
+//!
+//! - [`InstantFabric`](crate::InstantFabric) — everything happens inside
+//!   `post_send` (functional mode for examples/tests on real threads);
+//! - [`SimFabric`](crate::SimFabric) — effects are scheduled on the virtual
+//!   clock according to a LogGP-parameterised cost model.
+//!
+//! Both share [`execute_delivery`], which really moves the bytes and
+//! produces the completions, so data-integrity behaviour is identical.
+
+use std::sync::Arc;
+
+use partix_sim::{SimDuration, SimTime};
+
+use crate::memory::MemoryRegion;
+use crate::network::NetworkState;
+use crate::types::{NodeId, Opcode, WcOpcode, WcStatus, WorkCompletion};
+
+/// A gather segment resolved against local registrations at post time.
+#[derive(Clone)]
+pub struct ResolvedSegment {
+    /// Source region.
+    pub mr: MemoryRegion,
+    /// Offset within the region.
+    pub offset: usize,
+    /// Byte length.
+    pub len: usize,
+}
+
+/// Software-path timing options a caller can attach to a post. These model
+/// costs *above* the verbs layer (protocol copies, lock waits, matching) —
+/// the instant fabric ignores them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PostOptions {
+    /// Earliest virtual time the NIC may start processing the WQE (the end
+    /// of the software path that produced it). `None` means "now".
+    pub earliest: Option<SimTime>,
+    /// Extra one-way wire latency (e.g. a rendezvous RTS/CTS handshake).
+    pub extra_wire_latency: SimDuration,
+    /// Small-message fast lane: the payload rides the doorbell write
+    /// (inlining / BlueFlame), skipping the WQE DMA fetch. UCX uses this for
+    /// small eager messages; the paper's module deliberately does not
+    /// (§IV-A), which is why its aggregators lose below ~2 KiB.
+    pub small_lane: bool,
+}
+
+/// Everything the fabric needs to carry out one posted send WR.
+pub struct TransferJob {
+    /// Originating node.
+    pub src_node: NodeId,
+    /// Destination node.
+    pub dst_node: NodeId,
+    /// Originating QP number.
+    pub src_qp: u32,
+    /// Destination QP number.
+    pub dst_qp: u32,
+    /// Caller's WR id.
+    pub wr_id: u64,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Resolved gather list.
+    pub segments: Vec<ResolvedSegment>,
+    /// Remote NIC-visible destination address.
+    pub remote_addr: u64,
+    /// Remote key.
+    pub rkey: u32,
+    /// Immediate data.
+    pub imm: Option<u32>,
+    /// Total bytes.
+    pub total_len: u32,
+    /// Payload snapshot taken at post time for inline sends (`None` for
+    /// ordinary gather-at-delivery transfers).
+    pub inline_payload: Option<Vec<u8>>,
+    /// Software-path timing options.
+    pub opts: PostOptions,
+}
+
+/// Moves bytes for posted work requests and delivers completions.
+pub trait Fabric: Send + Sync {
+    /// Accept a validated transfer job. Implementations must eventually:
+    /// move the bytes, push the receive-side completion (for
+    /// write-with-immediate), push the send-side completion, and release the
+    /// sender's outstanding-WR slot.
+    fn submit(&self, net: &Arc<NetworkState>, job: TransferJob);
+}
+
+/// Outcome of executing a delivery.
+pub enum DeliveryOutcome {
+    /// Data landed; for write-with-immediate the receive completion was
+    /// pushed to the destination's recv CQ.
+    Delivered {
+        /// Bytes written.
+        bytes: u32,
+    },
+    /// The remote rkey/address check failed; nothing was written.
+    RemoteAccessError,
+    /// No receive WR was posted on the destination QP (write-with-imm).
+    ReceiverNotReady,
+    /// A two-sided payload did not fit the receive WR's scatter space.
+    PayloadTooLarge,
+}
+
+/// Execute the destination-side effects of `job`: validate the remote
+/// address, copy the bytes, and (for write-with-immediate) consume a receive
+/// WR and push the receive completion. Returns what happened so the fabric
+/// can construct the matching send-side completion.
+pub fn execute_delivery(net: &Arc<NetworkState>, job: &TransferJob) -> DeliveryOutcome {
+    execute_delivery_ext(net, job, true)
+}
+
+/// [`execute_delivery`] with an explicit data-movement switch. Timing
+/// studies over many-gigabyte sweeps disable the byte copies (`copy_data =
+/// false`) — all validation, receive-WR accounting and completions still
+/// happen, so control-flow behaviour is identical.
+pub fn execute_delivery_ext(
+    net: &Arc<NetworkState>,
+    job: &TransferJob,
+    copy_data: bool,
+) -> DeliveryOutcome {
+    let Ok(dst_node) = net.node(job.dst_node) else {
+        return DeliveryOutcome::RemoteAccessError;
+    };
+    let two_sided = matches!(job.opcode, Opcode::Send | Opcode::SendWithImm);
+
+    if two_sided {
+        // Two-sided: the receive WR *is* the destination.
+        let Ok(dst_qp) = dst_node.qp(job.dst_qp) else {
+            return DeliveryOutcome::RemoteAccessError;
+        };
+        let Some(recv_wr) = dst_qp.take_recv() else {
+            return DeliveryOutcome::ReceiverNotReady;
+        };
+        let recv_space: u64 = recv_wr.sg_list.iter().map(|s| s.length as u64).sum();
+        if (job.total_len as u64) > recv_space {
+            return DeliveryOutcome::PayloadTooLarge;
+        }
+        if copy_data {
+            // Resolve destination scatter elements and stream the gathered
+            // payload into them.
+            let mut src_iter = job
+                .segments
+                .iter()
+                .flat_map(|seg| (0..seg.len).map(move |off| (seg, off)));
+            'outer: for sge in &recv_wr.sg_list {
+                let Ok(mr) = dst_node.mrs.by_lkey(sge.lkey) else {
+                    return DeliveryOutcome::RemoteAccessError;
+                };
+                let Ok(base) = mr.offset_of(sge.lkey, sge.addr, sge.length as u64) else {
+                    return DeliveryOutcome::RemoteAccessError;
+                };
+                for i in 0..sge.length as usize {
+                    let Some((seg, off)) = src_iter.next() else {
+                        break 'outer;
+                    };
+                    let mut byte = [0u8];
+                    seg.mr
+                        .read(seg.offset + off, &mut byte)
+                        .expect("validated at post");
+                    mr.write(base + i, &byte).expect("validated above");
+                }
+            }
+        }
+        dst_qp.recv_cq().push(WorkCompletion {
+            wr_id: recv_wr.wr_id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::Recv,
+            byte_len: job.total_len,
+            imm: job.imm,
+            qp_num: dst_qp.qp_num(),
+        });
+        return DeliveryOutcome::Delivered {
+            bytes: job.total_len,
+        };
+    }
+
+    // One-sided: validate the remote address *before* consuming a receive
+    // WR, so a protection failure leaves the receive queue untouched.
+    let Ok((dst_mr, base_off)) =
+        dst_node
+            .mrs
+            .resolve_remote(job.rkey, job.remote_addr, job.total_len as u64)
+    else {
+        return DeliveryOutcome::RemoteAccessError;
+    };
+    let recv_slot = if job.opcode == Opcode::RdmaWriteWithImm {
+        let Ok(dst_qp) = dst_node.qp(job.dst_qp) else {
+            return DeliveryOutcome::RemoteAccessError;
+        };
+        match dst_qp.take_recv() {
+            Some(r) => Some((dst_qp, r)),
+            None => return DeliveryOutcome::ReceiverNotReady,
+        }
+    } else {
+        None
+    };
+
+    // Gather: copy each local segment (or the inline snapshot) into the
+    // contiguous remote range.
+    if copy_data {
+        if let Some(payload) = &job.inline_payload {
+            dst_mr
+                .write(base_off, payload)
+                .expect("range validated at resolve time");
+        } else {
+            let mut cursor = base_off;
+            for seg in &job.segments {
+                dst_mr
+                    .copy_from(cursor, &seg.mr, seg.offset, seg.len)
+                    .expect("ranges validated at post and resolve time");
+                cursor += seg.len;
+            }
+        }
+    } else {
+        let _ = (dst_mr, base_off);
+    }
+
+    if let Some((dst_qp, recv_wr)) = recv_slot {
+        dst_qp.recv_cq().push(WorkCompletion {
+            wr_id: recv_wr.wr_id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::RecvRdmaWithImm,
+            byte_len: job.total_len,
+            imm: job.imm,
+            qp_num: dst_qp.qp_num(),
+        });
+    }
+    DeliveryOutcome::Delivered {
+        bytes: job.total_len,
+    }
+}
+
+/// Push the send-side completion for `job` with `status`, releasing the
+/// outstanding-WR slot; drives the source QP to the error state on failure
+/// (as real hardware does).
+pub fn complete_send(net: &Arc<NetworkState>, job: &TransferJob, status: WcStatus) {
+    let Ok(src_node) = net.node(job.src_node) else {
+        return;
+    };
+    let Ok(src_qp) = src_node.qp(job.src_qp) else {
+        return;
+    };
+    src_qp.release_send_slot();
+    if status != WcStatus::Success {
+        src_qp.set_error();
+    }
+    let opcode = match job.opcode {
+        Opcode::Send | Opcode::SendWithImm => WcOpcode::Send,
+        _ => WcOpcode::RdmaWrite,
+    };
+    src_qp.send_cq().push(WorkCompletion {
+        wr_id: job.wr_id,
+        status,
+        opcode,
+        byte_len: job.total_len,
+        imm: None,
+        qp_num: src_qp.qp_num(),
+    });
+}
+
+/// Map a delivery outcome to the send-side completion status.
+pub fn outcome_status(outcome: &DeliveryOutcome) -> WcStatus {
+    match outcome {
+        DeliveryOutcome::Delivered { .. } => WcStatus::Success,
+        DeliveryOutcome::RemoteAccessError => WcStatus::RemoteAccessError,
+        DeliveryOutcome::ReceiverNotReady => WcStatus::RnrRetryExceeded,
+        DeliveryOutcome::PayloadTooLarge => WcStatus::LocalLengthError,
+    }
+}

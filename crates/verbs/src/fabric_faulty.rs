@@ -1,0 +1,162 @@
+//! Fault injection: a fabric decorator that corrupts selected transfers.
+//!
+//! Wraps any inner fabric and forces chosen work requests to fail with a
+//! chosen completion status, without touching destination memory. Used to
+//! test that error completions propagate through the runtime (QP error
+//! states, `wait` returning `TransferFailed`) — paths that never fire on a
+//! healthy fabric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::fabric::{complete_send, Fabric, TransferJob};
+use crate::network::NetworkState;
+use crate::types::WcStatus;
+
+/// Which transfers to fail.
+pub enum FaultPlan {
+    /// Fail every `n`-th submitted transfer (1-based: `EveryNth(1)` fails
+    /// all).
+    EveryNth(u64),
+    /// Fail the transfers whose (0-based) submission index is in the list.
+    Indices(Vec<u64>),
+    /// Fail nothing (pass-through).
+    None,
+}
+
+/// A fabric decorator that injects failures.
+pub struct FaultyFabric {
+    inner: Arc<dyn Fabric>,
+    plan: Mutex<FaultPlan>,
+    status: WcStatus,
+    submitted: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultyFabric {
+    /// Wrap `inner`, failing transfers per `plan` with `status`.
+    pub fn new(inner: Arc<dyn Fabric>, plan: FaultPlan, status: WcStatus) -> Arc<Self> {
+        assert_ne!(status, WcStatus::Success, "inject a failure status");
+        Arc::new(FaultyFabric {
+            inner,
+            plan: Mutex::new(plan),
+            status,
+            submitted: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Replace the fault plan.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    /// Number of failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of transfers seen so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self, index: u64) -> bool {
+        match &*self.plan.lock() {
+            FaultPlan::EveryNth(n) => *n > 0 && (index + 1) % *n == 0,
+            FaultPlan::Indices(v) => v.contains(&index),
+            FaultPlan::None => false,
+        }
+    }
+}
+
+impl Fabric for FaultyFabric {
+    fn submit(&self, net: &Arc<NetworkState>, job: TransferJob) {
+        let index = self.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.should_fail(index) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            // The wire "ate" the transfer: no delivery, no data movement,
+            // only an error completion on the sender.
+            complete_send(net, &job, self.status);
+            return;
+        }
+        self.inner.submit(net, job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric_instant::InstantFabric;
+    use crate::network::{connect_pair, Network};
+    use crate::qp::QpCaps;
+    use crate::types::{Opcode, QpState, RecvWr, SendWr, Sge};
+
+    fn setup(plan: FaultPlan) -> (Network, Arc<FaultyFabric>) {
+        let faulty = FaultyFabric::new(InstantFabric::new(), plan, WcStatus::RemoteAccessError);
+        (Network::new(2, faulty.clone()), faulty)
+    }
+
+    #[test]
+    fn injected_failure_produces_error_completion_and_error_qp() {
+        let (net, faulty) = setup(FaultPlan::EveryNth(2));
+        let a = net.open(0).unwrap();
+        let b = net.open(1).unwrap();
+        let (pda, pdb) = (a.alloc_pd(), b.alloc_pd());
+        let (cqa, cqb) = (a.create_cq(), b.create_cq());
+        let qa = a
+            .create_qp(pda, cqa.clone(), a.create_cq(), QpCaps::default())
+            .unwrap();
+        let qb = b
+            .create_qp(pdb, b.create_cq(), cqb.clone(), QpCaps::default())
+            .unwrap();
+        connect_pair(&qa, &qb).unwrap();
+        let src = a.reg_mr(pda, 64).unwrap();
+        let dst = b.reg_mr(pdb, 64).unwrap();
+        src.fill(0, 64, 0x77).unwrap();
+        let wr = |id| SendWr {
+            wr_id: id,
+            opcode: Opcode::RdmaWriteWithImm,
+            sg_list: vec![Sge {
+                addr: src.addr(),
+                length: 64,
+                lkey: src.lkey(),
+            }],
+            remote_addr: dst.addr(),
+            rkey: dst.rkey(),
+            imm: Some(0),
+            inline_data: false,
+        };
+        qb.post_recv(RecvWr::bare(0)).unwrap();
+        qb.post_recv(RecvWr::bare(1)).unwrap();
+
+        // First transfer passes through.
+        qa.post_send(wr(1)).unwrap();
+        assert_eq!(cqa.poll_one().unwrap().status, WcStatus::Success);
+        assert_eq!(dst.read_vec(0, 1).unwrap(), vec![0x77]);
+
+        // Second transfer is eaten.
+        dst.fill(0, 64, 0).unwrap();
+        qa.post_send(wr(2)).unwrap();
+        let wc = cqa.poll_one().unwrap();
+        assert_eq!(wc.status, WcStatus::RemoteAccessError);
+        assert_eq!(dst.read_vec(0, 1).unwrap(), vec![0]);
+        assert_eq!(qa.state(), QpState::Error);
+        assert_eq!(faulty.injected(), 1);
+        assert_eq!(faulty.submitted(), 2);
+        // No receive-side completion for the failed transfer.
+        assert_eq!(cqb.total_pushed(), 1);
+    }
+
+    #[test]
+    fn none_plan_passes_everything() {
+        let (_net, faulty) = setup(FaultPlan::None);
+        assert!(!faulty.should_fail(0));
+        faulty.set_plan(FaultPlan::Indices(vec![3, 5]));
+        assert!(!faulty.should_fail(2));
+        assert!(faulty.should_fail(3));
+        assert!(faulty.should_fail(5));
+    }
+}

@@ -1,0 +1,46 @@
+//! The instant fabric: zero-latency functional mode.
+//!
+//! All side effects of a post happen synchronously inside `post_send`. Used
+//! by examples and multi-threaded correctness tests where timing fidelity is
+//! irrelevant. Completion-notify hooks still fire, so the runtime behaves
+//! identically to simulated mode apart from timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::fabric::{complete_send, execute_delivery, outcome_status, Fabric, TransferJob};
+use crate::network::NetworkState;
+
+/// Fabric that applies every transfer immediately.
+#[derive(Default)]
+pub struct InstantFabric {
+    transfers: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl InstantFabric {
+    /// Create an instant fabric.
+    pub fn new() -> Arc<Self> {
+        Arc::new(InstantFabric::default())
+    }
+
+    /// Transfers executed so far.
+    pub fn total_transfers(&self) -> u64 {
+        self.transfers.load(Ordering::Relaxed)
+    }
+
+    /// Bytes moved so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Fabric for InstantFabric {
+    fn submit(&self, net: &Arc<NetworkState>, job: TransferJob) {
+        let outcome = execute_delivery(net, &job);
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(job.total_len as u64, Ordering::Relaxed);
+        complete_send(net, &job, outcome_status(&outcome));
+    }
+}

@@ -1,0 +1,225 @@
+//! The network of nodes and the per-node device context.
+//!
+//! A [`Network`] is a set of nodes (host + NIC pairs) joined by one fabric.
+//! [`Context`] is the user-space device handle (`ibv_open_device` analogue):
+//! it allocates protection domains, registers memory, and creates CQs and
+//! QPs on its node.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::cq::CompletionQueue;
+use crate::error::{Result, VerbsError};
+use crate::fabric::Fabric;
+use crate::memory::{MemoryRegion, MrRegistry};
+use crate::qp::{QpCaps, QueuePair};
+use crate::types::NodeId;
+
+/// Per-node state: registered memory and live QPs.
+pub struct NodeCtx {
+    /// Node identifier.
+    pub id: NodeId,
+    pub(crate) mrs: MrRegistry,
+    qps: RwLock<HashMap<u32, Arc<QueuePair>>>,
+}
+
+impl NodeCtx {
+    fn new(id: NodeId) -> Arc<Self> {
+        Arc::new(NodeCtx {
+            id,
+            mrs: MrRegistry::new(id),
+            qps: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Look up a QP by number.
+    pub fn qp(&self, qp_num: u32) -> Result<Arc<QueuePair>> {
+        self.qps
+            .read()
+            .get(&qp_num)
+            .cloned()
+            .ok_or(VerbsError::UnknownQp(qp_num))
+    }
+
+    /// Number of registered memory regions (diagnostics).
+    pub fn mr_count(&self) -> usize {
+        self.mrs.count()
+    }
+
+    /// Number of live QPs (diagnostics).
+    pub fn qp_count(&self) -> usize {
+        self.qps.read().len()
+    }
+}
+
+/// Shared, fabric-visible network state: the set of nodes.
+pub struct NetworkState {
+    nodes: Vec<Arc<NodeCtx>>,
+    next_qp_num: AtomicU32,
+    next_cq_id: AtomicU32,
+    next_pd_id: AtomicU32,
+}
+
+impl NetworkState {
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> Result<Arc<NodeCtx>> {
+        self.nodes
+            .get(id as usize)
+            .cloned()
+            .ok_or(VerbsError::UnknownNode(id))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A network: nodes plus the fabric that moves bytes between them.
+#[derive(Clone)]
+pub struct Network {
+    state: Arc<NetworkState>,
+    fabric: Arc<dyn Fabric>,
+}
+
+impl Network {
+    /// Create a network of `nodes` nodes over `fabric`.
+    pub fn new(nodes: u32, fabric: Arc<dyn Fabric>) -> Self {
+        let state = Arc::new(NetworkState {
+            nodes: (0..nodes).map(NodeCtx::new).collect(),
+            next_qp_num: AtomicU32::new(1),
+            next_cq_id: AtomicU32::new(1),
+            next_pd_id: AtomicU32::new(1),
+        });
+        Network { state, fabric }
+    }
+
+    /// Shared state handle.
+    pub fn state(&self) -> &Arc<NetworkState> {
+        &self.state
+    }
+
+    /// The fabric.
+    pub fn fabric(&self) -> &Arc<dyn Fabric> {
+        &self.fabric
+    }
+
+    /// Open a device context on `node` (`ibv_open_device`).
+    pub fn open(&self, node: NodeId) -> Result<Context> {
+        let node_ctx = self.state.node(node)?;
+        Ok(Context {
+            node: node_ctx,
+            state: self.state.clone(),
+            fabric: self.fabric.clone(),
+        })
+    }
+}
+
+/// A protection domain handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtectionDomain {
+    /// Domain identifier.
+    pub id: u32,
+    /// Node the domain lives on.
+    pub node: NodeId,
+}
+
+/// User-space device context for one node.
+#[derive(Clone)]
+pub struct Context {
+    node: Arc<NodeCtx>,
+    state: Arc<NetworkState>,
+    fabric: Arc<dyn Fabric>,
+}
+
+impl Context {
+    /// The node this context operates on.
+    pub fn node_id(&self) -> NodeId {
+        self.node.id
+    }
+
+    /// Node state (diagnostics).
+    pub fn node(&self) -> &Arc<NodeCtx> {
+        &self.node
+    }
+
+    /// Allocate a protection domain (`ibv_alloc_pd`).
+    pub fn alloc_pd(&self) -> ProtectionDomain {
+        ProtectionDomain {
+            id: self.state.next_pd_id.fetch_add(1, Ordering::Relaxed),
+            node: self.node.id,
+        }
+    }
+
+    /// Register a memory region of `len` bytes (`ibv_reg_mr`).
+    pub fn reg_mr(&self, pd: ProtectionDomain, len: usize) -> Result<MemoryRegion> {
+        if pd.node != self.node.id {
+            return Err(VerbsError::ProtectionDomainMismatch);
+        }
+        Ok(self.node.mrs.register(pd.id, len))
+    }
+
+    /// Register a virtual (timing-only, storage-free) region for
+    /// `copy_data = false` studies.
+    pub fn reg_mr_virtual(&self, pd: ProtectionDomain, len: usize) -> Result<MemoryRegion> {
+        if pd.node != self.node.id {
+            return Err(VerbsError::ProtectionDomainMismatch);
+        }
+        Ok(self.node.mrs.register_virtual(pd.id, len))
+    }
+
+    /// Create a completion queue (`ibv_create_cq`).
+    pub fn create_cq(&self) -> Arc<CompletionQueue> {
+        CompletionQueue::new(self.state.next_cq_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Create a queue pair (`ibv_create_qp`).
+    pub fn create_qp(
+        &self,
+        pd: ProtectionDomain,
+        send_cq: Arc<CompletionQueue>,
+        recv_cq: Arc<CompletionQueue>,
+        caps: QpCaps,
+    ) -> Result<Arc<QueuePair>> {
+        if pd.node != self.node.id {
+            return Err(VerbsError::ProtectionDomainMismatch);
+        }
+        let qp_num = self.state.next_qp_num.fetch_add(1, Ordering::Relaxed);
+        let qp = QueuePair::new(
+            qp_num,
+            self.node.id,
+            pd.id,
+            caps,
+            send_cq,
+            recv_cq,
+            Arc::downgrade(&self.state),
+            self.fabric.clone(),
+        );
+        self.node.qps.write().insert(qp_num, qp.clone());
+        Ok(qp)
+    }
+}
+
+/// Drive both ends of a QP pair through INIT → RTR → RTS. In a real
+/// deployment the QP numbers travel out-of-band (e.g. TCP or MPI's business
+/// card exchange); in-process we connect directly. The partitioned runtime
+/// performs this asynchronously with a modelled setup delay.
+pub fn connect_pair(a: &Arc<QueuePair>, b: &Arc<QueuePair>) -> Result<()> {
+    use crate::qp::PeerId;
+    a.modify(crate::types::QpState::Init)?;
+    b.modify(crate::types::QpState::Init)?;
+    a.modify_to_rtr(PeerId {
+        node: b.node(),
+        qp_num: b.qp_num(),
+    })?;
+    b.modify_to_rtr(PeerId {
+        node: a.node(),
+        qp_num: a.qp_num(),
+    })?;
+    a.modify_to_rts()?;
+    b.modify_to_rts()?;
+    Ok(())
+}

@@ -1,0 +1,349 @@
+//! Queue pairs.
+//!
+//! A [`QueuePair`] bundles a send queue and a receive queue, follows the
+//! RESET → INIT → RTR → RTS state machine, and enforces the outstanding-WR
+//! cap of the paper's hardware (ConnectX-5: 16 concurrent RDMA WRs per QP —
+//! §IV-A: *"we opted to use multiple QPs"* rather than throttle).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::cq::CompletionQueue;
+use crate::error::{Result, VerbsError};
+use crate::fabric::{Fabric, PostOptions, ResolvedSegment, TransferJob};
+use crate::network::NetworkState;
+use crate::types::{NodeId, Opcode, QpState, RecvWr, SendWr};
+
+/// Capabilities requested at QP creation.
+#[derive(Clone, Copy, Debug)]
+pub struct QpCaps {
+    /// Maximum concurrently outstanding send WRs (hardware cap; default 16).
+    pub max_send_wr: u32,
+    /// Maximum posted receive WRs.
+    pub max_recv_wr: u32,
+    /// Maximum scatter/gather elements per WR.
+    pub max_sge: usize,
+    /// Maximum inline payload (bytes); ConnectX-class defaults to ~220.
+    pub max_inline_data: u32,
+}
+
+impl Default for QpCaps {
+    fn default() -> Self {
+        QpCaps {
+            max_send_wr: 16,
+            max_recv_wr: 4096,
+            max_sge: 16,
+            max_inline_data: 220,
+        }
+    }
+}
+
+/// Identity of the connected remote QP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerId {
+    /// Remote node.
+    pub node: NodeId,
+    /// Remote QP number.
+    pub qp_num: u32,
+}
+
+/// A queue pair.
+pub struct QueuePair {
+    qp_num: u32,
+    node: NodeId,
+    pd_id: u32,
+    caps: QpCaps,
+    state: Mutex<QpState>,
+    peer: Mutex<Option<PeerId>>,
+    send_cq: Arc<CompletionQueue>,
+    recv_cq: Arc<CompletionQueue>,
+    recv_queue: Mutex<VecDeque<RecvWr>>,
+    outstanding: AtomicU32,
+    posted_sends: AtomicU64,
+    posted_recvs: AtomicU64,
+    net: Weak<NetworkState>,
+    fabric: Arc<dyn Fabric>,
+}
+
+impl QueuePair {
+    #[allow(clippy::too_many_arguments)] // mirrors ibv_create_qp's attribute set
+    pub(crate) fn new(
+        qp_num: u32,
+        node: NodeId,
+        pd_id: u32,
+        caps: QpCaps,
+        send_cq: Arc<CompletionQueue>,
+        recv_cq: Arc<CompletionQueue>,
+        net: Weak<NetworkState>,
+        fabric: Arc<dyn Fabric>,
+    ) -> Arc<Self> {
+        Arc::new(QueuePair {
+            qp_num,
+            node,
+            pd_id,
+            caps,
+            state: Mutex::new(QpState::Reset),
+            peer: Mutex::new(None),
+            send_cq,
+            recv_cq,
+            recv_queue: Mutex::new(VecDeque::new()),
+            outstanding: AtomicU32::new(0),
+            posted_sends: AtomicU64::new(0),
+            posted_recvs: AtomicU64::new(0),
+            net,
+            fabric,
+        })
+    }
+
+    /// QP number (unique within the network).
+    pub fn qp_num(&self) -> u32 {
+        self.qp_num
+    }
+
+    /// Owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Protection domain.
+    pub fn pd_id(&self) -> u32 {
+        self.pd_id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QpState {
+        *self.state.lock()
+    }
+
+    /// The send completion queue.
+    pub fn send_cq(&self) -> &Arc<CompletionQueue> {
+        &self.send_cq
+    }
+
+    /// The receive completion queue.
+    pub fn recv_cq(&self) -> &Arc<CompletionQueue> {
+        &self.recv_cq
+    }
+
+    /// Connected peer, if any.
+    pub fn peer(&self) -> Option<PeerId> {
+        *self.peer.lock()
+    }
+
+    /// Capabilities.
+    pub fn caps(&self) -> QpCaps {
+        self.caps
+    }
+
+    /// Total send WRs ever posted (diagnostics; used by aggregation tests).
+    pub fn total_posted_sends(&self) -> u64 {
+        self.posted_sends.load(Ordering::Relaxed)
+    }
+
+    /// Total receive WRs ever posted.
+    pub fn total_posted_recvs(&self) -> u64 {
+        self.posted_recvs.load(Ordering::Relaxed)
+    }
+
+    /// Currently outstanding (un-completed) send WRs.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// `ibv_modify_qp` analogue: request a state transition.
+    pub fn modify(&self, to: QpState) -> Result<()> {
+        let mut st = self.state.lock();
+        if !st.can_transition_to(to) {
+            return Err(VerbsError::InvalidTransition { from: *st, to });
+        }
+        *st = to;
+        Ok(())
+    }
+
+    /// Transition RTR while recording the peer (the `ah_attr`/`dest_qp_num`
+    /// part of `ibv_modify_qp`).
+    pub fn modify_to_rtr(&self, peer: PeerId) -> Result<()> {
+        self.modify(QpState::ReadyToReceive)?;
+        *self.peer.lock() = Some(peer);
+        Ok(())
+    }
+
+    /// Transition to RTS.
+    pub fn modify_to_rts(&self) -> Result<()> {
+        self.modify(QpState::ReadyToSend)
+    }
+
+    /// Force the QP into the error state (fatal completion).
+    pub(crate) fn set_error(&self) {
+        *self.state.lock() = QpState::Error;
+    }
+
+    /// Post a receive work request (`ibv_post_recv`). Scatter elements are
+    /// validated against local registrations and the protection domain.
+    pub fn post_recv(&self, wr: RecvWr) -> Result<()> {
+        let st = self.state();
+        if matches!(st, QpState::Reset | QpState::Error) {
+            return Err(VerbsError::InvalidQpState {
+                actual: st,
+                required: QpState::Init,
+            });
+        }
+        if !wr.sg_list.is_empty() {
+            if wr.sg_list.len() > self.caps.max_sge {
+                return Err(VerbsError::TooManySges {
+                    got: wr.sg_list.len(),
+                    max: self.caps.max_sge,
+                });
+            }
+            let net = self.net.upgrade().expect("network outlives queue pairs");
+            let node = net.node(self.node)?;
+            for sge in &wr.sg_list {
+                let mr = node.mrs.by_lkey(sge.lkey)?;
+                if mr.pd_id() != self.pd_id {
+                    return Err(VerbsError::ProtectionDomainMismatch);
+                }
+                mr.offset_of(sge.lkey, sge.addr, sge.length as u64)?;
+            }
+        }
+        let mut q = self.recv_queue.lock();
+        if q.len() as u32 >= self.caps.max_recv_wr {
+            return Err(VerbsError::RecvQueueFull);
+        }
+        q.push_back(wr);
+        self.posted_recvs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Consume the oldest posted receive WR (fabric-internal, for
+    /// write-with-immediate delivery).
+    pub(crate) fn take_recv(&self) -> Option<RecvWr> {
+        self.recv_queue.lock().pop_front()
+    }
+
+    /// Depth of the posted receive queue.
+    pub fn recv_queue_depth(&self) -> usize {
+        self.recv_queue.lock().len()
+    }
+
+    /// Post a send work request (`ibv_post_send`) with default timing
+    /// options.
+    pub fn post_send(self: &Arc<Self>, wr: SendWr) -> Result<()> {
+        self.post_send_with(wr, PostOptions::default())
+    }
+
+    /// Post a send work request with explicit software-path timing options
+    /// (used by the runtime's protocol cost models; ignored by the instant
+    /// fabric).
+    pub fn post_send_with(self: &Arc<Self>, wr: SendWr, opts: PostOptions) -> Result<()> {
+        let st = self.state();
+        if st != QpState::ReadyToSend {
+            return Err(VerbsError::InvalidQpState {
+                actual: st,
+                required: QpState::ReadyToSend,
+            });
+        }
+        match wr.opcode {
+            Opcode::RdmaWrite | Opcode::Send => {}
+            Opcode::RdmaWriteWithImm | Opcode::SendWithImm => {
+                if wr.imm.is_none() {
+                    return Err(VerbsError::BadOpcode);
+                }
+            }
+        }
+        if wr.sg_list.is_empty() {
+            return Err(VerbsError::EmptySgList);
+        }
+        if wr.sg_list.len() > self.caps.max_sge {
+            return Err(VerbsError::TooManySges {
+                got: wr.sg_list.len(),
+                max: self.caps.max_sge,
+            });
+        }
+        let peer = self.peer().ok_or(VerbsError::PeerNotSet)?;
+        let net = self.net.upgrade().expect("network outlives queue pairs");
+        let node = net.node(self.node)?;
+
+        // Resolve the gather list against local registrations; also enforce
+        // the protection domain.
+        let mut segments = Vec::with_capacity(wr.sg_list.len());
+        let mut total: u64 = 0;
+        for sge in &wr.sg_list {
+            let mr = node.mrs.by_lkey(sge.lkey)?;
+            if mr.pd_id() != self.pd_id {
+                return Err(VerbsError::ProtectionDomainMismatch);
+            }
+            let off = mr.offset_of(sge.lkey, sge.addr, sge.length as u64)?;
+            total += sge.length as u64;
+            segments.push(ResolvedSegment {
+                mr,
+                offset: off,
+                len: sge.length as usize,
+            });
+        }
+
+        // Inline sends snapshot the payload at post time (the WQE carries
+        // it), so later writes to the source buffer cannot race the wire.
+        let snapshot = if wr.inline_data {
+            if total > self.caps.max_inline_data as u64 {
+                return Err(VerbsError::InlineTooLarge {
+                    got: total as u32,
+                    max: self.caps.max_inline_data,
+                });
+            }
+            let mut bytes = Vec::with_capacity(total as usize);
+            for seg in &segments {
+                let mut chunk = vec![0u8; seg.len];
+                seg.mr.read(seg.offset, &mut chunk)?;
+                bytes.extend_from_slice(&chunk);
+            }
+            Some(bytes)
+        } else {
+            None
+        };
+
+        // Claim an outstanding-WR slot; hardware rejects past the cap.
+        let claim = self
+            .outstanding
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < self.caps.max_send_wr).then_some(cur + 1)
+            });
+        if claim.is_err() {
+            return Err(VerbsError::SendQueueFull {
+                max_outstanding: self.caps.max_send_wr,
+            });
+        }
+        self.posted_sends.fetch_add(1, Ordering::Relaxed);
+
+        let mut opts = opts;
+        if wr.inline_data {
+            // Inline rides the doorbell write: the small-message fast lane.
+            opts.small_lane = true;
+        }
+        let job = TransferJob {
+            src_node: self.node,
+            dst_node: peer.node,
+            src_qp: self.qp_num,
+            dst_qp: peer.qp_num,
+            wr_id: wr.wr_id,
+            opcode: wr.opcode,
+            segments,
+            remote_addr: wr.remote_addr,
+            rkey: wr.rkey,
+            imm: wr.imm,
+            total_len: total as u32,
+            inline_payload: snapshot,
+            opts,
+        };
+        self.fabric.submit(&net, job);
+        Ok(())
+    }
+
+    /// Release an outstanding-WR slot (fabric-internal, at send completion).
+    pub(crate) fn release_send_slot(&self) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "send-slot accounting underflow");
+    }
+}

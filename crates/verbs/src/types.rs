@@ -1,0 +1,218 @@
+//! Core verbs data types: opcodes, work requests, completions, QP states.
+
+/// Node identifier within a [`Network`](crate::Network) (one per simulated
+/// host/NIC pair).
+pub type NodeId = u32;
+
+/// Work-request opcodes. `RdmaWriteWithImm` is the paper's workhorse
+/// (§IV-A); the two-sided `Send` path (what UCX's eager protocols ride on)
+/// is implemented for completeness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// One-sided RDMA write; no receive-side completion.
+    RdmaWrite,
+    /// One-sided RDMA write that consumes a posted receive WR on the target
+    /// and delivers the 32-bit immediate in the receive completion.
+    RdmaWriteWithImm,
+    /// Two-sided send: payload is scattered into the buffers of the posted
+    /// receive WR it consumes; `remote_addr`/`rkey` are ignored.
+    Send,
+    /// Two-sided send carrying a 32-bit immediate.
+    SendWithImm,
+}
+
+/// QP state machine states (the subset of the IB spec the design exercises).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QpState {
+    /// Freshly created.
+    Reset,
+    /// Initialised (receives may be posted).
+    Init,
+    /// Ready to receive.
+    ReadyToReceive,
+    /// Ready to send (fully connected).
+    ReadyToSend,
+    /// Error state.
+    Error,
+}
+
+/// A scatter/gather element: a range of a locally registered memory region.
+/// `addr` is the byte address within the node's NIC address space (as
+/// returned by registration), not an offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sge {
+    /// NIC-visible start address of the range.
+    pub addr: u64,
+    /// Length in bytes.
+    pub length: u32,
+    /// Local key of the containing memory region.
+    pub lkey: u32,
+}
+
+/// A send work request.
+#[derive(Clone, Debug)]
+pub struct SendWr {
+    /// Caller-chosen identifier echoed in the completion.
+    pub wr_id: u64,
+    /// Operation to perform.
+    pub opcode: Opcode,
+    /// Local data layout (gather list).
+    pub sg_list: Vec<Sge>,
+    /// NIC-visible destination address on the remote node.
+    pub remote_addr: u64,
+    /// Remote key authorising the write.
+    pub rkey: u32,
+    /// Immediate data (required for [`Opcode::RdmaWriteWithImm`]).
+    pub imm: Option<u32>,
+    /// `IBV_SEND_INLINE`: the payload is copied into the WQE at post time,
+    /// so the source buffer may be reused immediately and the NIC skips
+    /// the gather DMA (the small-message fast lane the paper's module
+    /// deliberately does not use). Requires `total length <=
+    /// QpCaps::max_inline_data`.
+    pub inline_data: bool,
+}
+
+impl Default for SendWr {
+    fn default() -> Self {
+        SendWr {
+            wr_id: 0,
+            opcode: Opcode::RdmaWrite,
+            sg_list: Vec::new(),
+            remote_addr: 0,
+            rkey: 0,
+            imm: None,
+            inline_data: false,
+        }
+    }
+}
+
+/// A receive work request. For two-sided sends the scatter list receives
+/// the payload; for RDMA-write-with-immediate the WR is consumed for its
+/// completion only and the scatter list may be empty.
+#[derive(Clone, Debug, Default)]
+pub struct RecvWr {
+    /// Caller-chosen identifier echoed in the completion.
+    pub wr_id: u64,
+    /// Scatter list for two-sided payload placement.
+    pub sg_list: Vec<Sge>,
+}
+
+impl RecvWr {
+    /// A placement-free receive WR (sufficient for write-with-immediate).
+    pub fn bare(wr_id: u64) -> Self {
+        RecvWr {
+            wr_id,
+            sg_list: Vec::new(),
+        }
+    }
+}
+
+/// Completion status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WcStatus {
+    /// The work request completed successfully.
+    Success,
+    /// The remote key/address validation failed on the target.
+    RemoteAccessError,
+    /// The target had no receive WR posted (receiver-not-ready).
+    RnrRetryExceeded,
+    /// A two-sided send's payload exceeded the receive WR's scatter space.
+    LocalLengthError,
+}
+
+/// Which queue the completion came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WcOpcode {
+    /// Completion of a send-queue WR (one-sided write).
+    RdmaWrite,
+    /// Completion of a send-queue WR (two-sided send).
+    Send,
+    /// Completion of a receive-queue WR consumed by a write-with-immediate.
+    RecvRdmaWithImm,
+    /// Completion of a receive-queue WR that received a two-sided send.
+    Recv,
+}
+
+/// A work completion.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkCompletion {
+    /// The `wr_id` of the completed work request.
+    pub wr_id: u64,
+    /// Completion status.
+    pub status: WcStatus,
+    /// Completed operation kind.
+    pub opcode: WcOpcode,
+    /// Bytes transferred.
+    pub byte_len: u32,
+    /// Immediate data, if the operation carried one.
+    pub imm: Option<u32>,
+    /// QP number the completion belongs to (local).
+    pub qp_num: u32,
+}
+
+/// Big-endian 32-bit immediate helpers. The paper encodes the starting user
+/// partition and the contiguous run length as two `u16`s packed into the
+/// `__be32` immediate (paper §IV-A).
+pub mod imm {
+    /// Pack `(start_partition, run_length)` into a big-endian u32 immediate.
+    #[inline]
+    pub fn encode(start: u16, count: u16) -> u32 {
+        u32::from_be(((start as u32) << 16 | count as u32).to_be())
+    }
+
+    /// Unpack an immediate into `(start_partition, run_length)`.
+    #[inline]
+    pub fn decode(imm: u32) -> (u16, u16) {
+        let host = u32::from_be(imm.to_be());
+        ((host >> 16) as u16, (host & 0xFFFF) as u16)
+    }
+}
+
+impl QpState {
+    /// Whether `self -> to` is a legal transition in our (simplified) state
+    /// machine: Reset -> Init -> RTR -> RTS, any state -> Error, Error/any ->
+    /// Reset.
+    pub fn can_transition_to(self, to: QpState) -> bool {
+        use QpState::*;
+        matches!(
+            (self, to),
+            (Reset, Init)
+                | (Init, ReadyToReceive)
+                | (ReadyToReceive, ReadyToSend)
+                | (_, Error)
+                | (_, Reset)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_round_trip() {
+        for (s, c) in [(0u16, 1u16), (5, 3), (65535, 65535), (128, 0)] {
+            assert_eq!(imm::decode(imm::encode(s, c)), (s, c));
+        }
+    }
+
+    #[test]
+    fn imm_layout_start_in_high_bits() {
+        // start=1, count=2 must place start in the high half so contiguous
+        // runs sort naturally.
+        assert_eq!(imm::encode(1, 2), 0x0001_0002);
+    }
+
+    #[test]
+    fn qp_transitions() {
+        use QpState::*;
+        assert!(Reset.can_transition_to(Init));
+        assert!(Init.can_transition_to(ReadyToReceive));
+        assert!(ReadyToReceive.can_transition_to(ReadyToSend));
+        assert!(ReadyToSend.can_transition_to(Error));
+        assert!(Error.can_transition_to(Reset));
+        assert!(!Reset.can_transition_to(ReadyToSend));
+        assert!(!Init.can_transition_to(ReadyToSend));
+        assert!(!ReadyToSend.can_transition_to(Init));
+    }
+}

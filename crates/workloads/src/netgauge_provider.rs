@@ -1,0 +1,198 @@
+//! LogGP parameter measurement over the simulated MPI path — the paper's
+//! Netgauge (MPI module) step.
+//!
+//! The provider runs genuine transfers through the full runtime + fabric
+//! stack on the virtual clock:
+//!
+//! - `rtt` — a partitioned ping-pong (1 partition each way);
+//! - `burst` — `n` single-partition messages committed back-to-back,
+//!   timed to the last send acknowledgement (the message-rate probe that
+//!   exposes the per-message gap `g`);
+//! - `send_overhead`/`recv_overhead` — the modelled CPU time of the MPI
+//!   software path (on real hardware Netgauge derives these with delayed
+//!   acknowledgements; on the simulator the software-path model is the
+//!   ground truth, so it is reported directly — see DESIGN.md).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use partix_core::{AggregatorKind, PartixConfig, World};
+use partix_model::netgauge::MeasurementProvider;
+
+/// Measurement provider over the simulated fabric.
+pub struct SimNetgauge {
+    /// Configuration whose fabric is being measured.
+    pub config: PartixConfig,
+}
+
+impl SimNetgauge {
+    /// Measure the fabric of `config` (the aggregator field is ignored; the
+    /// probes use the persistent path, as Netgauge's MPI module would).
+    pub fn new(config: PartixConfig) -> Self {
+        let mut config = config;
+        config.aggregator = AggregatorKind::Persistent;
+        config.fabric.copy_data = false;
+        SimNetgauge { config }
+    }
+
+    fn world(&self) -> (World, partix_core::Scheduler) {
+        World::sim(2, self.config.clone())
+    }
+}
+
+impl MeasurementProvider for SimNetgauge {
+    fn rtt_ns(&mut self, size: usize) -> f64 {
+        let (world, sched) = self.world();
+        let p0 = world.proc(0);
+        let p1 = world.proc(1);
+        let a_out = p0.alloc_buffer(size).unwrap();
+        let b_in = p1.alloc_buffer(size).unwrap();
+        let b_out = p1.alloc_buffer(size).unwrap();
+        let a_in = p0.alloc_buffer(size).unwrap();
+        let s_ab = p0.psend_init(&a_out, 1, size, 1, 1).unwrap();
+        let r_ab = p1.precv_init(&b_in, 1, size, 0, 1).unwrap();
+        let s_ba = p1.psend_init(&b_out, 1, size, 0, 2).unwrap();
+        let r_ba = p0.precv_init(&a_in, 1, size, 1, 2).unwrap();
+
+        let t0 = Arc::new(AtomicU64::new(0));
+        let t1 = Arc::new(AtomicU64::new(0));
+        let world2 = world.clone();
+        let (t0c, t1c) = (t0.clone(), t1.clone());
+        let (s_ab2, r_ab2, s_ba2, r_ba2) = (s_ab.clone(), r_ab.clone(), s_ba.clone(), r_ba.clone());
+        // The tag-2 channel is established second, so its readiness implies
+        // the tag-1 channel's (same-instant events fire in creation order).
+        r_ba.on_ready(move || {
+            r_ab2.start().unwrap();
+            r_ba2.start().unwrap();
+            s_ab2.start().unwrap();
+            s_ba2.start().unwrap();
+            t0c.store(world2.now().as_nanos(), Ordering::Relaxed);
+            // Pong when the ping arrives.
+            let s_ba3 = s_ba2.clone();
+            r_ab2.on_complete(move || {
+                s_ba3.pready(0).unwrap();
+            });
+            let world3 = world2.clone();
+            r_ba2.on_complete(move || {
+                t1c.store(world3.now().as_nanos(), Ordering::Relaxed);
+            });
+            s_ab2.pready(0).unwrap();
+        });
+        sched.run();
+        let (a, b) = (t0.load(Ordering::Relaxed), t1.load(Ordering::Relaxed));
+        assert!(b > a, "ping-pong did not complete");
+        (b - a) as f64
+    }
+
+    fn burst_ns(&mut self, size: usize, n: usize) -> f64 {
+        let (world, sched) = self.world();
+        let p0 = world.proc(0);
+        let p1 = world.proc(1);
+        let sbuf = p0.alloc_buffer(size * n).unwrap();
+        let rbuf = p1.alloc_buffer(size * n).unwrap();
+        let send = p0.psend_init(&sbuf, n as u32, size, 1, 1).unwrap();
+        let recv = p1.precv_init(&rbuf, n as u32, size, 0, 1).unwrap();
+        let t0 = Arc::new(AtomicU64::new(0));
+        let t1 = Arc::new(AtomicU64::new(0));
+        let (t0c, t1c) = (t0.clone(), t1.clone());
+        let world2 = world.clone();
+        let (send2, recv2) = (send.clone(), recv.clone());
+        send.on_ready(move || {
+            recv2.start().unwrap();
+            send2.start().unwrap();
+            t0c.store(world2.now().as_nanos(), Ordering::Relaxed);
+            let world3 = world2.clone();
+            send2.on_complete(move || {
+                t1c.store(world3.now().as_nanos(), Ordering::Relaxed);
+            });
+            for i in 0..n as u32 {
+                send2.pready(i).unwrap();
+            }
+        });
+        sched.run();
+        let (a, b) = (t0.load(Ordering::Relaxed), t1.load(Ordering::Relaxed));
+        assert!(b > a, "burst did not complete");
+        (b - a) as f64
+    }
+
+    fn send_overhead_ns(&mut self, size: usize) -> f64 {
+        self.config
+            .ucx
+            .cost(size, self.config.fabric.loggp.l)
+            .locked_cpu_ns as f64
+    }
+
+    fn recv_overhead_ns(&mut self, size: usize) -> f64 {
+        let _ = size;
+        self.config.fabric.loggp.o_r + self.config.ucx.matching_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_model::netgauge::assess;
+
+    #[test]
+    fn rtt_scales_with_size() {
+        let mut ng = SimNetgauge::new(PartixConfig::default());
+        let small = ng.rtt_ns(64);
+        let big = ng.rtt_ns(1 << 20);
+        assert!(big > small * 5.0, "1 MiB rtt {big} vs 64 B rtt {small}");
+    }
+
+    #[test]
+    fn burst_scales_with_count() {
+        let mut ng = SimNetgauge::new(PartixConfig::default());
+        let b2 = ng.burst_ns(8, 2);
+        let b32 = ng.burst_ns(8, 32);
+        assert!(b32 > b2, "more messages must take longer");
+        // Slope per message should be sub-microsecond at 8 B on this fabric
+        // (UCX lock path + WQE processing), not the wire.
+        let per_msg = (b32 - b2) / 30.0;
+        assert!(
+            per_msg > 100.0 && per_msg < 10_000.0,
+            "per-message {per_msg} ns"
+        );
+    }
+
+    #[test]
+    fn assessment_recovers_fabric_scale_parameters() {
+        let cfg = PartixConfig::default();
+        let mut ng = SimNetgauge::new(cfg.clone());
+        let a = assess(&mut ng);
+        let p = a.params;
+        assert!(p.validate().is_ok());
+        // G must be within 2x of the configured link G (the MPI path can
+        // only slow it down).
+        let g_true = cfg.fabric.loggp.big_g;
+        assert!(
+            p.big_g >= g_true * 0.9 && p.big_g <= g_true * 3.0,
+            "fitted G {} vs true {}",
+            p.big_g,
+            g_true
+        );
+        // Latency within an order of magnitude.
+        assert!(p.l > 100.0 && p.l < 20_000.0, "fitted L {}", p.l);
+        assert!(a.g_fit_r2 > 0.99);
+    }
+
+    #[test]
+    fn fitted_model_gives_monotone_aggregation_decisions() {
+        // The measure->fit->decide loop must produce the qualitative
+        // Table-I structure: optimal transport partitions never decrease
+        // with message size.
+        use partix_model::{PLogGpModel, DEFAULT_DECISION_DELAY_NS};
+        let mut ng = SimNetgauge::new(PartixConfig::default());
+        let fitted = PLogGpModel::new(assess(&mut ng).params);
+        let mut last = 0;
+        let mut size = 64usize << 10;
+        while size <= 256 << 20 {
+            let t = fitted.optimal_transport_partitions(size, 32, DEFAULT_DECISION_DELAY_NS);
+            assert!(t >= last, "optimum decreased at {size}: {t} < {last}");
+            last = t;
+            size <<= 2;
+        }
+        assert!(last > 1, "large messages should split");
+    }
+}

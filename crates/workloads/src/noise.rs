@@ -1,0 +1,219 @@
+//! Thread compute/arrival models.
+//!
+//! The paper's benchmarks assign one user partition per thread and model
+//! compute as a fixed duration plus noise (§V-A: "compute amounts of 1 ms or
+//! 100 ms and noise values of 1% or 4%"; the *single thread delay model*
+//! gives all the noise to one laggard thread). Separately, the profiling in
+//! §V-C2/Fig. 12 shows that even "simultaneous" threads spread their
+//! `pready` calls over tens of microseconds — the spread grows with thread
+//! count (atomic-counter turn-taking, scheduling) and with oversubscription.
+//! `ThreadTiming` models both effects with seedable draws.
+
+use rand::RngExt;
+
+use partix_sim::{stream_rng, SimDuration};
+
+/// How injected noise is distributed over threads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseModel {
+    /// No injected noise (the overhead benchmark).
+    None,
+    /// The paper's single-thread-delay model: one randomly chosen laggard
+    /// receives `frac * compute` extra delay.
+    SingleThreadDelay {
+        /// Noise fraction (0.04 = 4%).
+        frac: f64,
+    },
+    /// Every thread receives an independent uniform extra delay in
+    /// `[0, frac * compute]`.
+    UniformPerThread {
+        /// Noise fraction.
+        frac: f64,
+    },
+}
+
+/// Per-thread compute / arrival timing model.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadTiming {
+    /// Base compute duration per thread.
+    pub compute: SimDuration,
+    /// Injected noise model.
+    pub noise: NoiseModel,
+    /// Natural arrival-spread coefficient: threads spread uniformly over
+    /// `jitter_per_thread_ns * threads * oversubscription` plus a
+    /// compute-proportional term (below).
+    pub jitter_per_thread_ns: u64,
+    /// OS-noise accumulated over the compute phase: adds
+    /// `compute * compute_jitter_frac` to the spread. This is what makes the
+    /// paper's Fig. 12 minimum-delta (~35 us at 32 threads after 100 ms of
+    /// compute) much larger than the tight-loop spread of the overhead
+    /// benchmark.
+    pub compute_jitter_frac: f64,
+    /// Physical cores per node; thread counts beyond this multiply the
+    /// spread (oversubscription — paper §V-B2, 128 partitions on 40 cores).
+    pub cores_per_node: u32,
+}
+
+impl ThreadTiming {
+    /// The overhead benchmark: no compute, no injected noise, natural
+    /// jitter only.
+    pub fn overhead() -> Self {
+        ThreadTiming {
+            compute: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            jitter_per_thread_ns: 1_000,
+            compute_jitter_frac: 0.0,
+            cores_per_node: 40,
+        }
+    }
+
+    /// The perceived-bandwidth benchmark: `compute_ms` of compute with
+    /// `noise_frac` single-thread delay (paper: 100 ms / 4%).
+    pub fn perceived_bw(compute_ms: u64, noise_frac: f64) -> Self {
+        ThreadTiming {
+            compute: SimDuration::from_millis(compute_ms),
+            noise: NoiseModel::SingleThreadDelay { frac: noise_frac },
+            jitter_per_thread_ns: 1_000,
+            compute_jitter_frac: 0.0,
+            cores_per_node: 40,
+        }
+    }
+
+    /// The laggard's extra delay under the single-thread-delay model.
+    pub fn laggard_delay(&self) -> SimDuration {
+        match self.noise {
+            NoiseModel::SingleThreadDelay { frac } => {
+                SimDuration::from_nanos_f64(self.compute.as_nanos() as f64 * frac)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Natural spread width for `threads` threads.
+    pub fn spread(&self, threads: u32) -> SimDuration {
+        let oversub = (threads as f64 / self.cores_per_node as f64).max(1.0);
+        SimDuration::from_nanos_f64(
+            self.jitter_per_thread_ns as f64 * threads as f64 * oversub
+                + self.compute.as_nanos() as f64 * self.compute_jitter_frac,
+        )
+    }
+
+    /// Draw the arrival time (relative to round start) of each of `threads`
+    /// threads for round `round` of the experiment seeded `seed`.
+    /// Deterministic in `(seed, round, threads)`.
+    pub fn arrivals(&self, threads: u32, seed: u64, round: u64) -> Vec<SimDuration> {
+        if threads == 0 {
+            return Vec::new();
+        }
+        let mut rng = stream_rng(seed, "arrivals", round);
+        let spread = self.spread(threads).as_nanos();
+        let base = self.compute.as_nanos();
+        let mut out: Vec<SimDuration> = (0..threads)
+            .map(|_| {
+                let jitter = if spread > 0 {
+                    rng.random_range(0..spread)
+                } else {
+                    0
+                };
+                SimDuration::from_nanos(base + jitter)
+            })
+            .collect();
+        match self.noise {
+            NoiseModel::None => {}
+            NoiseModel::SingleThreadDelay { frac } => {
+                let laggard = rng.random_range(0..threads) as usize;
+                let extra = (base as f64 * frac).round() as u64;
+                out[laggard] = SimDuration::from_nanos(out[laggard].as_nanos() + extra);
+            }
+            NoiseModel::UniformPerThread { frac } => {
+                let cap = (base as f64 * frac).round() as u64;
+                for a in out.iter_mut() {
+                    let extra = if cap > 0 {
+                        rng.random_range(0..=cap)
+                    } else {
+                        0
+                    };
+                    *a = SimDuration::from_nanos(a.as_nanos() + extra);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_round() {
+        let t = ThreadTiming::perceived_bw(100, 0.04);
+        assert_eq!(t.arrivals(32, 7, 3), t.arrivals(32, 7, 3));
+        assert_ne!(t.arrivals(32, 7, 3), t.arrivals(32, 7, 4));
+        assert_ne!(t.arrivals(32, 7, 3), t.arrivals(32, 8, 3));
+    }
+
+    #[test]
+    fn single_thread_delay_has_exactly_one_laggard() {
+        let t = ThreadTiming::perceived_bw(100, 0.04);
+        let arr = t.arrivals(32, 1, 0);
+        let base = SimDuration::from_millis(100).as_nanos();
+        let delay = SimDuration::from_millis(4).as_nanos();
+        let spread = t.spread(32).as_nanos();
+        let laggards = arr.iter().filter(|a| a.as_nanos() >= base + delay).count();
+        assert_eq!(laggards, 1, "exactly one thread gets the 4 ms delay");
+        for a in &arr {
+            assert!(a.as_nanos() >= base);
+            assert!(a.as_nanos() < base + delay + spread);
+        }
+    }
+
+    #[test]
+    fn overhead_timing_spreads_with_thread_count() {
+        // ~1 us of spread per thread: the Fig. 12 regime (the paper
+        // estimates a ~35 us minimum delta for 32 threads).
+        let t = ThreadTiming::overhead();
+        assert_eq!(t.spread(32), SimDuration::from_micros(32));
+        // Oversubscription: 128 threads on 40 cores -> 3.2x wider.
+        let s128 = t.spread(128).as_nanos() as f64;
+        assert!((s128 - 128_000.0 * 3.2).abs() < 1.0);
+        assert_eq!(t.laggard_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn compute_jitter_term_is_opt_in() {
+        let mut t = ThreadTiming::perceived_bw(100, 0.04);
+        let base = t.spread(32).as_nanos();
+        t.compute_jitter_frac = 3e-4;
+        assert_eq!(t.spread(32).as_nanos(), base + 30_000);
+    }
+
+    #[test]
+    fn laggard_delay_is_fraction_of_compute() {
+        let t = ThreadTiming::perceived_bw(100, 0.04);
+        assert_eq!(t.laggard_delay(), SimDuration::from_millis(4));
+        let t = ThreadTiming::perceived_bw(1, 0.01);
+        assert_eq!(t.laggard_delay(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn uniform_noise_bounded() {
+        let t = ThreadTiming {
+            compute: SimDuration::from_millis(1),
+            noise: NoiseModel::UniformPerThread { frac: 0.5 },
+            jitter_per_thread_ns: 0,
+            compute_jitter_frac: 0.0,
+            cores_per_node: 40,
+        };
+        for a in t.arrivals(16, 42, 0) {
+            assert!(a >= SimDuration::from_millis(1));
+            assert!(a.as_nanos() <= 1_500_000);
+        }
+    }
+
+    #[test]
+    fn zero_thread_arrivals_empty() {
+        let t = ThreadTiming::overhead();
+        assert!(t.arrivals(0, 1, 0).is_empty());
+    }
+}

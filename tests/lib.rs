@@ -1,0 +1,52 @@
+//! Shared helpers for the cross-crate system tests (the tests themselves
+//! live in `tests/tests/`).
+
+use partix_core::{MemoryRegion, PartixConfig, PrecvRequest, Proc, PsendRequest, World};
+
+/// A matched send/receive pair over two ranks of a fresh instant world.
+pub struct InstantPair {
+    /// The world (kept alive for the requests).
+    pub world: World,
+    /// Sender process.
+    pub p0: Proc,
+    /// Receiver process.
+    pub p1: Proc,
+    /// Send request.
+    pub send: PsendRequest,
+    /// Receive request.
+    pub recv: PrecvRequest,
+    /// Sender buffer.
+    pub sbuf: MemoryRegion,
+    /// Receiver buffer.
+    pub rbuf: MemoryRegion,
+}
+
+/// Build an instant-fabric pair with the given configuration and shape.
+pub fn instant_pair(cfg: PartixConfig, partitions: u32, part_bytes: usize) -> InstantPair {
+    let world = World::instant(2, cfg);
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let total = partitions as usize * part_bytes;
+    let sbuf = p0.alloc_buffer(total).expect("send buffer");
+    let rbuf = p1.alloc_buffer(total).expect("recv buffer");
+    let send = p0
+        .psend_init(&sbuf, partitions, part_bytes, 1, 0)
+        .expect("psend_init");
+    let recv = p1
+        .precv_init(&rbuf, partitions, part_bytes, 0, 0)
+        .expect("precv_init");
+    InstantPair {
+        world,
+        p0,
+        p1,
+        send,
+        recv,
+        sbuf,
+        rbuf,
+    }
+}
+
+/// Deterministic pattern byte for (round, partition).
+pub fn pattern(round: u64, partition: u32) -> u8 {
+    (round as u8).wrapping_mul(31) ^ (partition as u8).wrapping_mul(7) ^ 0x5A
+}

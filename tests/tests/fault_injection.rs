@@ -1,0 +1,127 @@
+//! Failure injection through the full stack: injected wire faults must
+//! surface as error completions, poisoned requests, and QP error states —
+//! never as silent data loss.
+
+use std::sync::Arc;
+
+use partix_core::{AggregatorKind, PartixConfig, PartixError, World};
+use partix_verbs::{FaultPlan, FaultyFabric, InstantFabric, WcStatus};
+
+fn faulty_world(plan: FaultPlan) -> (World, Arc<FaultyFabric>) {
+    let faulty = FaultyFabric::new(InstantFabric::new(), plan, WcStatus::RemoteAccessError);
+    let world = World::with_fabric(
+        2,
+        PartixConfig::with_aggregator(AggregatorKind::Persistent),
+        faulty.clone(),
+    );
+    (world, faulty)
+}
+
+#[test]
+fn injected_fault_poisons_the_send_request() {
+    // Fail the third WR of the round.
+    let (world, faulty) = faulty_world(FaultPlan::Indices(vec![2]));
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(8 * 128).unwrap();
+    let rbuf = p1.alloc_buffer(8 * 128).unwrap();
+    let send = p0.psend_init(&sbuf, 8, 128, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 8, 128, 0, 0).unwrap();
+    recv.start().unwrap();
+    send.start().unwrap();
+    for i in 0..8 {
+        send.pready(i).unwrap();
+    }
+    // The sender's wait reports the failure rather than hanging or lying.
+    // Depending on progress timing the first observed error is either the
+    // faulted WR's completion or the QP-already-dead rejection of a later
+    // post; both are honest.
+    assert!(matches!(
+        send.wait(),
+        Err(PartixError::TransferFailed { .. })
+    ));
+    assert!(send.error().is_some());
+    assert_eq!(faulty.injected(), 1);
+    // The receiver is missing the faulted partition and the later
+    // partitions of the now-dead QP (round-robin: 2, 4, 6 shared QP 0).
+    assert!(!recv.test());
+    assert_eq!(recv.arrived_count(), 5);
+    for lost in [2u32, 4, 6] {
+        assert!(
+            !recv.parrived(lost).unwrap(),
+            "partition {lost} should be lost"
+        );
+    }
+    for ok in [0u32, 1, 3, 5, 7] {
+        assert!(
+            recv.parrived(ok).unwrap(),
+            "partition {ok} should have arrived"
+        );
+    }
+}
+
+#[test]
+fn clean_rounds_before_the_fault_are_unaffected() {
+    // Fault only the 17th transfer: two full 8-partition rounds pass, the
+    // third poisons.
+    let (world, _faulty) = faulty_world(FaultPlan::Indices(vec![16]));
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(8 * 64).unwrap();
+    let rbuf = p1.alloc_buffer(8 * 64).unwrap();
+    let send = p0.psend_init(&sbuf, 8, 64, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 8, 64, 0, 0).unwrap();
+    for round in 0..2 {
+        recv.start().unwrap();
+        send.start().unwrap();
+        for i in 0..8 {
+            sbuf.fill(i as usize * 64, 64, round * 10 + i as u8)
+                .unwrap();
+            send.pready(i as u32).unwrap();
+        }
+        send.wait().unwrap();
+        recv.wait().unwrap();
+        for i in 0..8 {
+            assert_eq!(
+                rbuf.read_vec(i as usize * 64, 1).unwrap(),
+                vec![round * 10 + i as u8]
+            );
+        }
+    }
+    recv.start().unwrap();
+    send.start().unwrap();
+    for i in 0..8 {
+        send.pready(i).unwrap();
+    }
+    assert!(send.wait().is_err());
+}
+
+#[test]
+fn aggregated_fault_loses_the_whole_group() {
+    // With full aggregation (one WR for all partitions), a single fault
+    // costs every partition — the blast-radius trade-off of aggregation.
+    let faulty = FaultyFabric::new(
+        InstantFabric::new(),
+        FaultPlan::EveryNth(1),
+        WcStatus::RemoteAccessError,
+    );
+    let world = World::with_fabric(
+        2,
+        PartixConfig::with_aggregator(AggregatorKind::PLogGp),
+        faulty,
+    );
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(32 * 512).unwrap();
+    let rbuf = p1.alloc_buffer(32 * 512).unwrap();
+    let send = p0.psend_init(&sbuf, 32, 512, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 32, 512, 0, 0).unwrap();
+    assert_eq!(send.plan().unwrap().groups, 1, "16 KiB fully aggregates");
+    recv.start().unwrap();
+    send.start().unwrap();
+    for i in 0..32 {
+        send.pready(i).unwrap();
+    }
+    assert!(send.wait().is_err());
+    assert_eq!(recv.arrived_count(), 0, "nothing arrived");
+}

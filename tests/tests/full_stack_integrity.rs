@@ -1,0 +1,206 @@
+//! Property-based data-integrity tests through the full stack: for every
+//! aggregator, any pready order, any (power-of-two or not) partition
+//! count, and both fabrics, the receiver observes exactly the bytes the
+//! sender committed, and arrival flags never lie.
+
+use partix_core::{AggregatorKind, PartixConfig, SimDuration, World};
+use partix_system_tests::{instant_pair, pattern};
+use proptest::prelude::*;
+
+const KINDS: [AggregatorKind; 4] = [
+    AggregatorKind::Persistent,
+    AggregatorKind::TuningTable,
+    AggregatorKind::PLogGp,
+    AggregatorKind::TimerPLogGp,
+];
+
+fn kind_strategy() -> impl Strategy<Value = AggregatorKind> {
+    prop::sample::select(KINDS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Instant fabric: arbitrary shapes and pready orders round-trip.
+    #[test]
+    fn instant_round_trip(
+        kind in kind_strategy(),
+        partitions in 1u32..40,
+        part_bytes in prop::sample::select(vec![1usize, 3, 64, 257, 1024, 4096]),
+        seed in any::<u64>(),
+        rounds in 1u64..4,
+    ) {
+        let mut cfg = PartixConfig::with_aggregator(kind);
+        cfg.delta = SimDuration::from_micros(1); // keep real-time timers short
+        let pair = instant_pair(cfg, partitions, part_bytes);
+        let mut idx: Vec<u32> = (0..partitions).collect();
+        for round in 1..=rounds {
+            pair.recv.start().unwrap();
+            pair.send.start().unwrap();
+            // Shuffle the pready order deterministically from the seed.
+            let mut s = seed.wrapping_add(round);
+            for i in (1..idx.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                idx.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            for &i in &idx {
+                pair.sbuf
+                    .fill(i as usize * part_bytes, part_bytes, pattern(round, i))
+                    .unwrap();
+                pair.send.pready(i).unwrap();
+            }
+            pair.send.wait().unwrap();
+            pair.recv.wait().unwrap();
+            for i in 0..partitions {
+                let got = pair
+                    .rbuf
+                    .read_vec(i as usize * part_bytes, part_bytes)
+                    .unwrap();
+                prop_assert!(
+                    got.iter().all(|b| *b == pattern(round, i)),
+                    "{kind:?}: partition {i} corrupted in round {round}"
+                );
+            }
+            prop_assert!(pair.send.error().is_none());
+        }
+        prop_assert_eq!(pair.send.completed_rounds(), rounds);
+        prop_assert_eq!(pair.recv.completed_rounds(), rounds);
+    }
+
+    /// Simulated fabric: staggered virtual-time arrivals round-trip and the
+    /// per-round WR count never exceeds the partition count nor falls below
+    /// the plan's group count.
+    #[test]
+    fn sim_round_trip(
+        kind in kind_strategy(),
+        partitions in prop::sample::select(vec![1u32, 2, 4, 8, 16, 32]),
+        part_bytes in prop::sample::select(vec![64usize, 2048, 64 << 10]),
+        delta_us in prop::sample::select(vec![5u64, 50, 5_000]),
+        stagger_us in 0u64..100,
+    ) {
+        let mut cfg = PartixConfig::with_aggregator(kind);
+        cfg.delta = SimDuration::from_micros(delta_us);
+        let (world, sched) = World::sim(2, cfg.clone());
+        let p0 = world.proc(0);
+        let p1 = world.proc(1);
+        let total = partitions as usize * part_bytes;
+        let sbuf = p0.alloc_buffer(total).unwrap();
+        let rbuf = p1.alloc_buffer(total).unwrap();
+        let send = p0.psend_init(&sbuf, partitions, part_bytes, 1, 0).unwrap();
+        let recv = p1.precv_init(&rbuf, partitions, part_bytes, 0, 0).unwrap();
+
+        let send2 = send.clone();
+        let recv2 = recv.clone();
+        let sbuf2 = sbuf.clone();
+        let sched2 = sched.clone();
+        send.on_ready(move || {
+            recv2.start().unwrap();
+            send2.start().unwrap();
+            for i in 0..partitions {
+                let send3 = send2.clone();
+                let sbuf3 = sbuf2.clone();
+                sched2.after(
+                    SimDuration::from_micros(stagger_us * (i as u64 % 7)),
+                    move || {
+                        sbuf3
+                            .fill(i as usize * part_bytes, part_bytes, pattern(1, i))
+                            .unwrap();
+                        send3.pready(i).unwrap();
+                    },
+                );
+            }
+        });
+        sched.run();
+
+        prop_assert_eq!(send.completed_rounds(), 1, "{:?} did not complete", kind);
+        prop_assert_eq!(recv.completed_rounds(), 1);
+        for i in 0..partitions {
+            let got = rbuf.read_vec(i as usize * part_bytes, part_bytes).unwrap();
+            prop_assert!(got.iter().all(|b| *b == pattern(1, i)));
+        }
+        let plan = send.plan().unwrap();
+        let wrs = send.total_wrs_posted();
+        prop_assert!(
+            wrs >= plan.groups as u64 && wrs <= partitions as u64,
+            "{kind:?}: {wrs} WRs outside [{}, {partitions}]",
+            plan.groups
+        );
+        if plan.timer_delta.is_none() {
+            prop_assert_eq!(wrs, plan.groups as u64, "non-timer policies post exactly one WR per group");
+        }
+    }
+}
+
+/// Non-power-of-two partition counts flow through every aggregator intact
+/// (groups are clamped to a dividing power of two).
+#[test]
+fn odd_partition_counts() {
+    for kind in KINDS {
+        for partitions in [3u32, 5, 6, 12, 17, 33] {
+            let pair = instant_pair(PartixConfig::with_aggregator(kind), partitions, 128);
+            pair.recv.start().unwrap();
+            pair.send.start().unwrap();
+            for i in 0..partitions {
+                pair.sbuf
+                    .fill(i as usize * 128, 128, pattern(9, i))
+                    .unwrap();
+                pair.send.pready(i).unwrap();
+            }
+            pair.send.wait().unwrap();
+            pair.recv.wait().unwrap();
+            let plan = pair.send.plan().unwrap();
+            assert_eq!(
+                plan.groups * plan.group_size,
+                partitions,
+                "{kind:?}/{partitions}"
+            );
+            for i in 0..partitions {
+                let got = pair.rbuf.read_vec(i as usize * 128, 128).unwrap();
+                assert!(got.iter().all(|b| *b == pattern(9, i)));
+            }
+        }
+    }
+}
+
+/// Several concurrent channels between the same pair of ranks (distinct
+/// tags) do not interfere.
+#[test]
+fn concurrent_channels_are_isolated() {
+    let world = partix_core::World::instant(2, PartixConfig::default());
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let channels: Vec<_> = (0..6u32)
+        .map(|tag| {
+            let sbuf = p0.alloc_buffer(8 * 256).unwrap();
+            let rbuf = p1.alloc_buffer(8 * 256).unwrap();
+            let send = p0.psend_init(&sbuf, 8, 256, 1, tag).unwrap();
+            let recv = p1.precv_init(&rbuf, 8, 256, 0, tag).unwrap();
+            (tag, send, recv, sbuf, rbuf)
+        })
+        .collect();
+    for (tag, send, recv, sbuf, _) in &channels {
+        recv.start().unwrap();
+        send.start().unwrap();
+        for i in 0..8 {
+            sbuf.fill(i as usize * 256, 256, (*tag as u8) * 10 + i as u8)
+                .unwrap();
+        }
+    }
+    // Interleaved commit order across channels.
+    for i in 0..8u32 {
+        for (_, send, _, _, _) in &channels {
+            send.pready(i).unwrap();
+        }
+    }
+    for (tag, send, recv, _, rbuf) in &channels {
+        send.wait().unwrap();
+        recv.wait().unwrap();
+        for i in 0..8u32 {
+            let got = rbuf.read_vec(i as usize * 256, 256).unwrap();
+            assert!(
+                got.iter().all(|b| *b == (*tag as u8) * 10 + i as u8),
+                "channel {tag} partition {i} corrupted"
+            );
+        }
+    }
+}
