@@ -1,10 +1,222 @@
-//! Bench: runtime hot paths on real threads (instant fabric): pready
-//! throughput, full-round latency, and the simulator's event rate.
+//! Bench: runtime hot paths — event post/dispatch throughput of the
+//! slab-backed scheduler (against a boxed-heap baseline reimplementing the
+//! previous design), steady-state event chains, same-timestamp storms, the
+//! pready fast path, and full partitioned rounds.
+//!
+//! Writes all measurements to `BENCH_hotpath.json` (override the path with
+//! the `BENCH_JSON` environment variable). Run with `-- --test` for a
+//! one-iteration smoke pass, as CI does.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use partix_core::{AggregatorKind, PartixConfig, World};
-use partix_sim::{Scheduler, SimTime};
+use partix_sim::{Scheduler, SimDuration, SimTime};
 use std::hint::black_box;
+
+/// The previous event-queue design, kept here as a measured baseline: one
+/// boxed closure per event in a mutex-guarded binary heap, with peek+pop
+/// taking separate lock acquisitions.
+mod boxed_baseline {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+    use std::sync::Mutex;
+
+    struct BoxedEvent {
+        time: u64,
+        seq: u64,
+        f: Box<dyn FnOnce() + Send>,
+    }
+
+    impl PartialEq for BoxedEvent {
+        fn eq(&self, other: &Self) -> bool {
+            (self.time, self.seq) == (other.time, other.seq)
+        }
+    }
+    impl Eq for BoxedEvent {}
+    impl PartialOrd for BoxedEvent {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for BoxedEvent {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want earliest first.
+            (other.time, other.seq).cmp(&(self.time, self.seq))
+        }
+    }
+
+    pub struct BoxedQueue {
+        heap: Mutex<BinaryHeap<BoxedEvent>>,
+        seq: AtomicU64,
+    }
+
+    impl BoxedQueue {
+        pub fn new() -> Self {
+            BoxedQueue {
+                heap: Mutex::new(BinaryHeap::new()),
+                seq: AtomicU64::new(0),
+            }
+        }
+
+        pub fn at(&self, time: u64, f: impl FnOnce() + Send + 'static) {
+            let seq = self.seq.fetch_add(1, AtomicOrdering::Relaxed);
+            self.heap.lock().unwrap().push(BoxedEvent {
+                time,
+                seq,
+                f: Box::new(f),
+            });
+        }
+
+        pub fn run(&self) -> u64 {
+            let mut executed = 0;
+            loop {
+                // Deliberately two lock rounds per event (peek, then pop),
+                // matching the shape of the old scheduler loop.
+                if self.heap.lock().unwrap().peek().is_none() {
+                    return executed;
+                }
+                let ev = self.heap.lock().unwrap().pop().expect("non-empty");
+                (ev.f)();
+                executed += 1;
+            }
+        }
+    }
+}
+
+/// Event-queue throughput: post N events, then dispatch them all. The
+/// closures capture an `Arc` and a payload word, like real runtime events
+/// (completion delivery captures request state) — a zero-sized closure
+/// would let the boxed baseline skip its per-event allocation entirely.
+fn bench_event_queue(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("event_queue");
+
+    g.bench_function("post_dispatch_100k_slab", |b| {
+        b.iter(|| {
+            let sim = Scheduler::with_capacity(1024);
+            let acc = Arc::new(AtomicU64::new(0));
+            for i in 0..N {
+                let acc = acc.clone();
+                sim.at(SimTime(i), move || {
+                    acc.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            sim.run();
+            black_box(acc.load(Ordering::Relaxed))
+        })
+    });
+
+    g.bench_function("post_dispatch_100k_boxed_baseline", |b| {
+        b.iter(|| {
+            let q = boxed_baseline::BoxedQueue::new();
+            let acc = Arc::new(AtomicU64::new(0));
+            for i in 0..N {
+                let acc = acc.clone();
+                q.at(i, move || {
+                    acc.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            q.run();
+            black_box(acc.load(Ordering::Relaxed))
+        })
+    });
+
+    // Post-only: isolates insertion (slab slot + heap push) from dispatch.
+    g.bench_function("post_100k_slab", |b| {
+        b.iter(|| {
+            let sim = Scheduler::with_capacity(1024);
+            let acc = Arc::new(AtomicU64::new(0));
+            for i in 0..N {
+                let acc = acc.clone();
+                sim.at(SimTime(i), move || {
+                    acc.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            black_box(sim.events_pending())
+        })
+    });
+
+    // Steady state: a single chain where each event schedules the next, so
+    // the queue depth stays at 1 and every event reuses the same slab slot
+    // — the allocation-free regime the slab design targets. The boxed
+    // baseline allocates and frees one closure per link instead.
+    g.bench_function("steady_chain_100k_slab", |b| {
+        b.iter(|| {
+            let sim = Scheduler::new();
+            fn link(sim: &Scheduler, remaining: u64) {
+                if remaining == 0 {
+                    return;
+                }
+                let next = sim.clone();
+                sim.after(SimDuration(1), move || link(&next, remaining - 1));
+            }
+            link(&sim, N);
+            black_box(sim.run())
+        })
+    });
+
+    g.bench_function("steady_chain_100k_boxed_baseline", |b| {
+        b.iter(|| {
+            let q = Arc::new(boxed_baseline::BoxedQueue::new());
+            fn link(q: &Arc<boxed_baseline::BoxedQueue>, time: u64, remaining: u64) {
+                if remaining == 0 {
+                    return;
+                }
+                let next = q.clone();
+                q.at(time + 1, move || link(&next, time + 1, remaining - 1));
+            }
+            link(&q, 0, N);
+            black_box(q.run())
+        })
+    });
+
+    // Same-timestamp storm: everything fires at once, exercising the
+    // batched same-time drain (one lock per MAX_BATCH events, not per
+    // event).
+    g.bench_function("same_time_storm_10k", |b| {
+        b.iter(|| {
+            let sim = Scheduler::new();
+            for _ in 0..10_000u64 {
+                sim.at(SimTime(7), || {});
+            }
+            black_box(sim.run())
+        })
+    });
+
+    g.finish();
+}
+
+/// pready fast path: one virtual-time round dominated by per-partition
+/// pready bookkeeping (128 partitions of 256 B under an aggregating plan,
+/// so most preadys only mark arrival and return).
+fn bench_pready_fastpath(c: &mut Criterion) {
+    let (world, sim) = World::sim(2, PartixConfig::with_aggregator(AggregatorKind::PLogGp));
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let parts = 128u32;
+    let pb = 256usize;
+    let sbuf = p0.alloc_buffer(parts as usize * pb).unwrap();
+    let rbuf = p1.alloc_buffer(parts as usize * pb).unwrap();
+    let send = p0.psend_init(&sbuf, parts, pb, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, parts, pb, 0, 0).unwrap();
+    // Drain the channel-establishment events before measuring rounds.
+    sim.run();
+    c.bench_function("pready_fastpath_128x256B", |b| {
+        b.iter(|| {
+            recv.start().unwrap();
+            send.start().unwrap();
+            for i in 0..parts {
+                send.pready(i).unwrap();
+            }
+            sim.run();
+            send.wait().unwrap();
+            recv.wait().unwrap();
+        })
+    });
+}
 
 fn bench_round(c: &mut Criterion, kind: AggregatorKind) {
     let world = World::instant(2, PartixConfig::with_aggregator(kind));
@@ -16,7 +228,7 @@ fn bench_round(c: &mut Criterion, kind: AggregatorKind) {
     let rbuf = p1.alloc_buffer(parts as usize * pb).unwrap();
     let send = p0.psend_init(&sbuf, parts, pb, 1, 0).unwrap();
     let recv = p1.precv_init(&rbuf, parts, pb, 0, 0).unwrap();
-    c.bench_function(&format!("round_32x4k_{kind:?}"), |b| {
+    c.bench_function(format!("round_32x4k_{kind:?}"), |b| {
         b.iter(|| {
             recv.start().unwrap();
             send.start().unwrap();
@@ -42,10 +254,20 @@ fn bench_scheduler(c: &mut Criterion) {
 }
 
 fn bench(c: &mut Criterion) {
+    bench_event_queue(c);
+    bench_pready_fastpath(c);
     bench_round(c, AggregatorKind::Persistent);
     bench_round(c, AggregatorKind::PLogGp);
     bench_scheduler(c);
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench(&mut c);
+    // Always leave a results file behind (empty array in smoke mode), so CI
+    // can upload it unconditionally.
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    c.write_json(std::path::Path::new(&path))
+        .expect("write hotpath results");
+    eprintln!("wrote benchmark results to {path}");
+}

@@ -6,6 +6,7 @@
 use partix_core::{AggregatorKind, PartixConfig, SimDuration};
 use partix_workloads::halo::{run_halo, HaloConfig};
 use partix_workloads::overhead::{speedup, OverheadSweep};
+use partix_workloads::parallel::par_map;
 use partix_workloads::perceived::PerceivedSweep;
 use partix_workloads::{run_pt2pt, Pt2PtConfig, ThreadTiming};
 
@@ -23,6 +24,7 @@ fn overhead_speedup(
         let mut s = OverheadSweep::new(cfg.clone(), partitions, sizes.to_vec());
         s.warmup = q.warmup;
         s.iters = q.iters;
+        s.jobs = q.jobs;
         s.run()
     };
     speedup(&mk(base), &mk(ours))
@@ -90,8 +92,8 @@ pub fn ablation_qp_fraction(q: Quality) -> Table {
         "Ablation A3: single-QP engine fraction (16 partitions on 1 QP, 64 MiB, mean round us)",
         &["qp_bw_fraction", "mean_us", "vs_full_link"],
     );
-    let mut at_one = None;
-    for frac in [1.0f64, 0.8, 0.6, 0.3] {
+    let fracs = vec![1.0f64, 0.8, 0.6, 0.3];
+    let means = par_map(q.jobs, fracs.clone(), |frac| {
         let mut partix = partix_workloads::overhead::forced_config(
             &PartixConfig::default(),
             16,
@@ -110,8 +112,10 @@ pub fn ablation_qp_fraction(q: Quality) -> Table {
             timing: ThreadTiming::overhead(),
             seed: 3,
         };
-        let mean = run_pt2pt(&cfg).mean_total_ns();
-        let one = *at_one.get_or_insert(mean);
+        run_pt2pt(&cfg).mean_total_ns()
+    });
+    let one = means[0];
+    for (frac, mean) in fracs.iter().zip(&means) {
         t.push(vec![
             format!("{frac:.1}"),
             format!("{:.1}", mean / 1e3),
@@ -129,11 +133,16 @@ pub fn ablation_recv_path(q: Quality) -> Table {
         &["recv_path_ns", "speedup"],
     );
     let ours = PartixConfig::with_aggregator(AggregatorKind::PLogGp);
-    for recv_ns in [500u64, 1_500, 2_500, 4_000] {
+    let recv_costs = vec![500u64, 1_500, 2_500, 4_000];
+    // The two sweeps inside overhead_speedup are single-size here, so the
+    // useful parallelism is across the recv-cost arms themselves.
+    let speedups = par_map(q.jobs, recv_costs.clone(), |recv_ns| {
         let mut base = PartixConfig::with_aggregator(AggregatorKind::Persistent);
         base.ucx.recv_path_ns = recv_ns;
-        let sp = overhead_speedup(&base, &ours, 32, &[128 << 10], q);
-        t.push(vec![recv_ns.to_string(), format!("{:.3}", sp[0].1)]);
+        overhead_speedup(&base, &ours, 32, &[128 << 10], q)[0].1
+    });
+    for (recv_ns, sp) in recv_costs.iter().zip(&speedups) {
+        t.push(vec![recv_ns.to_string(), format!("{sp:.3}")]);
     }
     t
 }
@@ -146,7 +155,8 @@ pub fn ablation_delta_wrs(q: Quality) -> Table {
         "Ablation A5: timer delta vs WRs per round and tail latency (32 partitions, 8 MiB)",
         &["delta_us", "wrs_per_round", "tail_us"],
     );
-    for delta_us in [1u64, 10, 100, 1_000, 100_000] {
+    let deltas = vec![1u64, 10, 100, 1_000, 100_000];
+    let rows = par_map(q.jobs, deltas, |delta_us| {
         let mut partix = PartixConfig::with_aggregator(AggregatorKind::TimerPLogGp);
         partix.delta = SimDuration::from_micros(delta_us);
         partix.fabric.copy_data = false;
@@ -161,11 +171,14 @@ pub fn ablation_delta_wrs(q: Quality) -> Table {
         };
         let r = run_pt2pt(&cfg);
         let rounds = (1 + q.iters.min(10)) as f64;
-        t.push(vec![
+        vec![
             delta_us.to_string(),
             format!("{:.2}", r.total_wrs as f64 / rounds),
             format!("{:.2}", r.mean_tail_ns() / 1e3),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -196,17 +209,17 @@ pub fn extension_adaptive_delta(q: Quality) -> Table {
         let rounds = (2 + q.iters.min(10)) as f64;
         (r.total_wrs as f64 / rounds, r.mean_tail_ns() / 1e3)
     };
-    for (name, adaptive, delta) in [
+    let arms = vec![
         ("fixed delta=1us (mis-tuned)", false, 1u64),
         ("fixed delta=35us (paper estimate)", false, 35),
         ("adaptive (starts at 1us)", true, 1),
-    ] {
+    ];
+    let rows = par_map(q.jobs, arms, |(name, adaptive, delta)| {
         let (wrs, tail) = run(adaptive, delta);
-        t.push(vec![
-            name.to_string(),
-            format!("{wrs:.2}"),
-            format!("{tail:.2}"),
-        ]);
+        vec![name.to_string(), format!("{wrs:.2}"), format!("{tail:.2}")]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -226,16 +239,24 @@ pub fn extension_halo(q: Quality) -> Table {
             "timer_speedup",
         ],
     );
-    for msg in [32usize << 10, 256 << 10, 2 << 20] {
-        let comm = |kind: AggregatorKind| {
-            let mut cfg = HaloConfig::small(PartixConfig::with_aggregator(kind), msg / 8);
-            cfg.warmup = q.sweep_warmup;
-            cfg.iters = q.sweep_iters;
-            run_halo(&cfg).mean_comm_ns
-        };
-        let p = comm(AggregatorKind::Persistent);
-        let g = comm(AggregatorKind::PLogGp);
-        let m = comm(AggregatorKind::TimerPLogGp);
+    let msgs = [32usize << 10, 256 << 10, 2 << 20];
+    let kinds = [
+        AggregatorKind::Persistent,
+        AggregatorKind::PLogGp,
+        AggregatorKind::TimerPLogGp,
+    ];
+    let cells: Vec<(usize, AggregatorKind)> = msgs
+        .iter()
+        .flat_map(|&msg| kinds.iter().map(move |&k| (msg, k)))
+        .collect();
+    let times = par_map(q.jobs, cells, |(msg, kind)| {
+        let mut cfg = HaloConfig::small(PartixConfig::with_aggregator(kind), msg / 8);
+        cfg.warmup = q.sweep_warmup;
+        cfg.iters = q.sweep_iters;
+        run_halo(&cfg).mean_comm_ns
+    });
+    for (i, &msg) in msgs.iter().enumerate() {
+        let (p, g, m) = (times[i * 3], times[i * 3 + 1], times[i * 3 + 2]);
         t.push(vec![
             msg.to_string(),
             fmt_bytes(msg),
@@ -257,17 +278,22 @@ pub fn ablation_early_bird(q: Quality) -> Table {
         "Ablation A7: early-bird benefit by partition count (8 MiB, perceived GB/s)",
         &["partitions", "ploggp", "timer_ploggp", "ratio"],
     );
-    for parts in [4u32, 8, 16, 32] {
-        let run = |kind: AggregatorKind| {
-            let mut cfg = PartixConfig::with_aggregator(kind);
-            cfg.delta = SimDuration::from_micros(100);
-            let mut s = PerceivedSweep::new(cfg, parts, vec![8 << 20]);
-            s.warmup = 1;
-            s.iters = q.sweep_iters.max(4);
-            s.run().remove(0).bandwidth / 1e9
-        };
-        let plg = run(AggregatorKind::PLogGp);
-        let tmr = run(AggregatorKind::TimerPLogGp);
+    let part_counts = [4u32, 8, 16, 32];
+    let kinds = [AggregatorKind::PLogGp, AggregatorKind::TimerPLogGp];
+    let cells: Vec<(u32, AggregatorKind)> = part_counts
+        .iter()
+        .flat_map(|&parts| kinds.iter().map(move |&k| (parts, k)))
+        .collect();
+    let bws = par_map(q.jobs, cells, |(parts, kind)| {
+        let mut cfg = PartixConfig::with_aggregator(kind);
+        cfg.delta = SimDuration::from_micros(100);
+        let mut s = PerceivedSweep::new(cfg, parts, vec![8 << 20]);
+        s.warmup = 1;
+        s.iters = q.sweep_iters.max(4);
+        s.run().remove(0).bandwidth / 1e9
+    });
+    for (i, parts) in part_counts.iter().enumerate() {
+        let (plg, tmr) = (bws[i * 2], bws[i * 2 + 1]);
         t.push(vec![
             parts.to_string(),
             format!("{plg:.2}"),

@@ -1,8 +1,11 @@
 //! Run the ablation studies (see `partix_bench::ablations`).
 //!
 //! ```text
-//! ablations [--quick] [--out DIR]
+//! ablations [--quick] [--jobs N] [--out DIR]
 //! ```
+//!
+//! `--jobs N` fans independent cells across N worker threads (default: the
+//! machine's available parallelism); output is byte-identical at any count.
 
 use std::path::PathBuf;
 
@@ -11,11 +14,20 @@ use partix_bench::experiments::Quality;
 
 fn main() {
     let mut quick = false;
+    let mut jobs = partix_workloads::parallel::default_jobs();
     let mut out = PathBuf::from("results");
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--jobs" | "-j" => {
+                let n = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = n else {
+                    eprintln!("error: --jobs requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                jobs = n.max(1);
+            }
             "--out" => {
                 let Some(dir) = it.next() else {
                     eprintln!("error: --out requires a directory argument");
@@ -33,7 +45,8 @@ fn main() {
         Quality::quick()
     } else {
         Quality::full()
-    };
+    }
+    .with_jobs(jobs);
 
     let tables = [
         ("ablation_a1_convoy", ablations::ablation_convoy(q)),

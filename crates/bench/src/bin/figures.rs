@@ -1,13 +1,16 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--out DIR] [experiment ...]
+//! figures [--quick] [--jobs N] [--out DIR] [experiment ...]
 //! experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 | all
 //! ```
 //!
 //! Each experiment writes `<out>/<name>*.csv` and prints the aligned table
 //! plus headline observables to stdout. The defaults use the paper's
-//! iteration counts; `--quick` trims them for smoke runs.
+//! iteration counts; `--quick` trims them for smoke runs. `--jobs N` fans
+//! independent experiment cells across N worker threads (default: the
+//! machine's available parallelism); every cell is a separately seeded
+//! simulation, so the output is byte-identical at any job count.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -17,18 +20,28 @@ use partix_bench::report::Table;
 
 struct Args {
     quick: bool,
+    jobs: usize,
     out: PathBuf,
     which: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut quick = false;
+    let mut jobs = partix_workloads::parallel::default_jobs();
     let mut out = PathBuf::from("results");
     let mut which = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--jobs" | "-j" => {
+                let n = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = n else {
+                    eprintln!("error: --jobs requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                jobs = n.max(1);
+            }
             "--out" => {
                 let Some(dir) = it.next() else {
                     eprintln!("error: --out requires a directory argument");
@@ -38,7 +51,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--quick] [--out DIR] [table1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all ...]"
+                    "usage: figures [--quick] [--jobs N] [--out DIR] [table1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all ...]"
                 );
                 std::process::exit(0);
             }
@@ -54,7 +67,12 @@ fn parse_args() -> Args {
         .map(|s| s.to_string())
         .collect();
     }
-    Args { quick, out, which }
+    Args {
+        quick,
+        jobs,
+        out,
+        which,
+    }
 }
 
 fn emit(args: &Args, slug: &str, table: &Table) {
@@ -68,14 +86,16 @@ fn main() {
         Quality::quick()
     } else {
         Quality::full()
-    };
+    }
+    .with_jobs(args.jobs);
     println!(
-        "# partix figures — mode: {}, output: {}",
+        "# partix figures — mode: {}, jobs: {}, output: {}",
         if args.quick {
             "quick"
         } else {
             "full (paper iteration counts)"
         },
+        q.jobs,
         args.out.display()
     );
 

@@ -9,6 +9,7 @@ use partix_core::{AggregatorKind, PartixConfig, SimDuration};
 use partix_model::{table1, ArrivalPattern, PLogGpModel};
 use partix_profiler::{min_delta_ns, ArrivalProfile, Profiler};
 use partix_workloads::overhead::{forced_config, pow2_sizes, speedup, OverheadSweep};
+use partix_workloads::parallel::par_map;
 use partix_workloads::perceived::PerceivedSweep;
 use partix_workloads::sweep::{run_sweep, SweepConfig};
 use partix_workloads::tuning_search::TuningSearch;
@@ -29,6 +30,10 @@ pub struct Quality {
     pub sweep_iters: usize,
     /// Rounds per candidate in the tuning search.
     pub search_iters: usize,
+    /// Worker threads for independent experiment cells (1 = serial). Cells
+    /// are separately seeded simulations, so every table is byte-identical
+    /// at any job count — this only changes wall-clock time.
+    pub jobs: usize,
 }
 
 impl Quality {
@@ -40,6 +45,7 @@ impl Quality {
             sweep_warmup: 3,
             sweep_iters: 10,
             search_iters: 10,
+            jobs: 1,
         }
     }
 
@@ -51,7 +57,14 @@ impl Quality {
             sweep_warmup: 1,
             sweep_iters: 3,
             search_iters: 4,
+            jobs: 1,
         }
+    }
+
+    /// Set the worker-thread count for independent cells.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 
@@ -108,6 +121,7 @@ pub fn fig6_table(q: Quality) -> Table {
     );
     base_sweep.warmup = q.warmup;
     base_sweep.iters = q.iters;
+    base_sweep.jobs = q.jobs;
     let baseline = base_sweep.run();
 
     let mut cols: Vec<String> = vec!["message_bytes".into(), "message".into()];
@@ -117,25 +131,31 @@ pub fn fig6_table(q: Quality) -> Table {
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
 
-    let mut series = Vec::new();
-    for &t in &transports {
-        // One run per size, each with its own forced (transport, QPs) key.
-        let pts: Vec<_> = sizes
-            .iter()
-            .filter(|s| **s >= partitions as usize)
-            .map(|&size| {
-                let mut s2 = OverheadSweep::new(
-                    forced_config(&PartixConfig::default(), partitions, size, t, qps),
-                    partitions,
-                    vec![size],
-                );
-                s2.warmup = q.warmup;
-                s2.iters = q.iters;
-                s2.run().remove(0)
-            })
-            .collect();
-        series.push(speedup(&baseline, &pts));
-    }
+    // One run per (transport, size) cell, each with its own forced
+    // (transport, QPs) key — all independent, fanned out together.
+    let kept: Vec<usize> = sizes
+        .iter()
+        .copied()
+        .filter(|s| *s >= partitions as usize)
+        .collect();
+    let cells: Vec<(u32, usize)> = transports
+        .iter()
+        .flat_map(|&t| kept.iter().map(move |&size| (t, size)))
+        .collect();
+    let pts = par_map(q.jobs, cells, |(t, size)| {
+        let mut s2 = OverheadSweep::new(
+            forced_config(&PartixConfig::default(), partitions, size, t, qps),
+            partitions,
+            vec![size],
+        );
+        s2.warmup = q.warmup;
+        s2.iters = q.iters;
+        s2.run().remove(0)
+    });
+    let series: Vec<_> = pts
+        .chunks(kept.len())
+        .map(|pts| speedup(&baseline, pts))
+        .collect();
     for (i, b) in baseline.iter().enumerate() {
         let mut row = vec![b.total_bytes.to_string(), fmt_bytes(b.total_bytes)];
         for s in &series {
@@ -160,6 +180,7 @@ pub fn fig7_table(q: Quality) -> Table {
     );
     base_sweep.warmup = q.warmup;
     base_sweep.iters = q.iters;
+    base_sweep.jobs = q.jobs;
     let baseline = base_sweep.run();
 
     let mut cols: Vec<String> = vec!["message_bytes".into(), "message".into()];
@@ -169,24 +190,29 @@ pub fn fig7_table(q: Quality) -> Table {
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
 
-    let mut series = Vec::new();
-    for &qp in &qp_counts {
-        let pts: Vec<_> = sizes
-            .iter()
-            .filter(|s| **s >= partitions as usize)
-            .map(|&size| {
-                let mut s2 = OverheadSweep::new(
-                    forced_config(&PartixConfig::default(), partitions, size, partitions, qp),
-                    partitions,
-                    vec![size],
-                );
-                s2.warmup = q.warmup;
-                s2.iters = q.iters;
-                s2.run().remove(0)
-            })
-            .collect();
-        series.push(speedup(&baseline, &pts));
-    }
+    let kept: Vec<usize> = sizes
+        .iter()
+        .copied()
+        .filter(|s| *s >= partitions as usize)
+        .collect();
+    let cells: Vec<(u32, usize)> = qp_counts
+        .iter()
+        .flat_map(|&qp| kept.iter().map(move |&size| (qp, size)))
+        .collect();
+    let pts = par_map(q.jobs, cells, |(qp, size)| {
+        let mut s2 = OverheadSweep::new(
+            forced_config(&PartixConfig::default(), partitions, size, partitions, qp),
+            partitions,
+            vec![size],
+        );
+        s2.warmup = q.warmup;
+        s2.iters = q.iters;
+        s2.run().remove(0)
+    });
+    let series: Vec<_> = pts
+        .chunks(kept.len())
+        .map(|pts| speedup(&baseline, pts))
+        .collect();
     for (i, b) in baseline.iter().enumerate() {
         let mut row = vec![b.total_bytes.to_string(), fmt_bytes(b.total_bytes)];
         for s in &series {
@@ -209,12 +235,14 @@ pub fn fig8_tables(q: Quality) -> Vec<Table> {
             let mut search = TuningSearch::new(PartixConfig::default(), vec![parts], sizes.clone());
             search.iters = q.search_iters;
             search.warmup = 1;
+            search.jobs = q.jobs;
             let tuned = Arc::new(search.run());
 
             let mk_sweep = |cfg: PartixConfig| {
                 let mut s = OverheadSweep::new(cfg, parts, sizes.clone());
                 s.warmup = q.warmup;
                 s.iters = q.iters;
+                s.jobs = q.jobs;
                 s
             };
             let baseline =
@@ -259,6 +287,7 @@ pub fn fig9_tables(q: Quality) -> Vec<Table> {
                 let mut s = PerceivedSweep::new(cfg, parts, sizes.clone());
                 s.warmup = q.sweep_warmup;
                 s.iters = q.sweep_iters.max(4);
+                s.jobs = q.jobs;
                 s.run()
             };
             let persistent = run(AggregatorKind::Persistent, None);
@@ -377,47 +406,54 @@ pub fn fig12_table(q: Quality) -> Table {
         "Fig 12: estimated minimum delta (us) for the timer aggregator",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for &size in &sizes {
-        let mut row = vec![size.to_string(), fmt_bytes(size)];
-        for &parts in &partition_counts {
-            if size < parts as usize {
-                row.push(String::new());
-                continue;
-            }
-            let partix = PartixConfig::with_aggregator(AggregatorKind::PLogGp);
-            let plan = partix_core::plan_for(&partix, parts, size / parts as usize);
-            if plan.group_size <= 1 {
-                // The model requests no aggregation: no delta to estimate.
-                row.push(String::new());
-                continue;
-            }
-            let mut cfg_p = partix.clone();
-            cfg_p.fabric.copy_data = false;
-            let cfg = Pt2PtConfig {
-                partix: cfg_p,
-                partitions: parts,
-                part_bytes: size / parts as usize,
-                warmup: 1,
-                iters: q.sweep_iters.max(3),
-                timing: ThreadTiming::perceived_bw(100, 0.04),
-                seed: 0xDE17A,
-            };
-            let profiler = Arc::new(Profiler::new());
-            let r = run_pt2pt_with_sink(&cfg, Some(profiler.clone()));
-            let trace = profiler.send_trace(r.send_req_id).expect("trace");
-            let deltas: Vec<f64> = trace
-                .rounds
-                .iter()
-                .skip(1) // warm-up
-                .filter_map(min_delta_ns)
-                .collect();
-            if deltas.is_empty() {
-                row.push(String::new());
-            } else {
-                let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
-                row.push(format!("{:.2}", mean / 1_000.0));
-            }
+    // The full (size x partition count) grid: every cell is an independent
+    // profiled run, so the whole grid fans out at once.
+    let cells: Vec<(usize, u32)> = sizes
+        .iter()
+        .flat_map(|&size| partition_counts.iter().map(move |&parts| (size, parts)))
+        .collect();
+    let values = par_map(q.jobs, cells, |(size, parts)| {
+        if size < parts as usize {
+            return String::new();
         }
+        let partix = PartixConfig::with_aggregator(AggregatorKind::PLogGp);
+        let plan = partix_core::plan_for(&partix, parts, size / parts as usize);
+        if plan.group_size <= 1 {
+            // The model requests no aggregation: no delta to estimate.
+            return String::new();
+        }
+        let mut cfg_p = partix.clone();
+        cfg_p.fabric.copy_data = false;
+        let cfg = Pt2PtConfig {
+            partix: cfg_p,
+            partitions: parts,
+            part_bytes: size / parts as usize,
+            warmup: 1,
+            iters: q.sweep_iters.max(3),
+            timing: ThreadTiming::perceived_bw(100, 0.04),
+            seed: 0xDE17A,
+        };
+        let profiler = Arc::new(Profiler::new());
+        let r = run_pt2pt_with_sink(&cfg, Some(profiler.clone()));
+        let trace = profiler.send_trace(r.send_req_id).expect("trace");
+        let deltas: Vec<f64> = trace
+            .rounds
+            .iter()
+            .skip(1) // warm-up
+            .filter_map(min_delta_ns)
+            .collect();
+        if deltas.is_empty() {
+            String::new()
+        } else {
+            let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+            format!("{:.2}", mean / 1_000.0)
+        }
+    });
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut row = vec![size.to_string(), fmt_bytes(size)];
+        row.extend_from_slice(
+            &values[i * partition_counts.len()..(i + 1) * partition_counts.len()],
+        );
         table.push(row);
     }
     table
@@ -442,6 +478,7 @@ pub fn fig13_table(q: Quality) -> Table {
             let mut s = PerceivedSweep::new(cfg, 32, sizes.clone());
             s.warmup = q.sweep_warmup;
             s.iters = q.sweep_iters.max(4);
+            s.jobs = q.jobs;
             s.run().into_iter().map(|p| p.bandwidth / 1e9).collect()
         })
         .collect();
@@ -478,19 +515,28 @@ pub fn fig14_tables(q: Quality) -> Vec<Table> {
                 ),
                 &["message_bytes", "message", "ploggp", "timer_ploggp"],
             );
-            for &msg in &msg_sizes {
-                let run = |kind: AggregatorKind| {
-                    let mut cfg =
-                        SweepConfig::paper_1024(PartixConfig::with_aggregator(kind), msg / 16);
-                    cfg.compute = compute;
-                    cfg.noise_frac = noise;
-                    cfg.warmup = q.sweep_warmup;
-                    cfg.iters = q.sweep_iters;
-                    run_sweep(&cfg).mean_comm_ns
-                };
-                let persistent = run(AggregatorKind::Persistent);
-                let plg = run(AggregatorKind::PLogGp);
-                let timer = run(AggregatorKind::TimerPLogGp);
+            // Three aggregator runs per message size, all independent
+            // 1024-core simulations: fan the whole (size x kind) grid out.
+            let kinds = [
+                AggregatorKind::Persistent,
+                AggregatorKind::PLogGp,
+                AggregatorKind::TimerPLogGp,
+            ];
+            let cells: Vec<(usize, AggregatorKind)> = msg_sizes
+                .iter()
+                .flat_map(|&msg| kinds.iter().map(move |&k| (msg, k)))
+                .collect();
+            let times = par_map(q.jobs, cells, |(msg, kind)| {
+                let mut cfg =
+                    SweepConfig::paper_1024(PartixConfig::with_aggregator(kind), msg / 16);
+                cfg.compute = compute;
+                cfg.noise_frac = noise;
+                cfg.warmup = q.sweep_warmup;
+                cfg.iters = q.sweep_iters;
+                run_sweep(&cfg).mean_comm_ns
+            });
+            for (i, &msg) in msg_sizes.iter().enumerate() {
+                let (persistent, plg, timer) = (times[i * 3], times[i * 3 + 1], times[i * 3 + 2]);
                 table.push(vec![
                     msg.to_string(),
                     fmt_bytes(msg),

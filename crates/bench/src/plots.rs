@@ -35,7 +35,10 @@ fn specs() -> Vec<PlotSpec> {
             series: [3, 4, 5, 6, 7, 8]
                 .iter()
                 .zip(["T=1", "T=2", "T=4", "T=8", "T=16", "T=32"])
-                .map(|(c, t)| Series { column: *c, title: t })
+                .map(|(c, t)| Series {
+                    column: *c,
+                    title: t,
+                })
                 .collect(),
         },
         PlotSpec {
@@ -48,7 +51,10 @@ fn specs() -> Vec<PlotSpec> {
             series: [3, 4, 5, 6, 7]
                 .iter()
                 .zip(["T=2", "T=4", "T=8", "T=16", "T=32"])
-                .map(|(c, t)| Series { column: *c, title: t })
+                .map(|(c, t)| Series {
+                    column: *c,
+                    title: t,
+                })
                 .collect(),
         },
         PlotSpec {
@@ -61,7 +67,10 @@ fn specs() -> Vec<PlotSpec> {
             series: [3, 4, 5, 6, 7]
                 .iter()
                 .zip(["1 QP", "2 QPs", "4 QPs", "8 QPs", "16 QPs"])
-                .map(|(c, t)| Series { column: *c, title: t })
+                .map(|(c, t)| Series {
+                    column: *c,
+                    title: t,
+                })
                 .collect(),
         },
         PlotSpec {
@@ -72,8 +81,14 @@ fn specs() -> Vec<PlotSpec> {
             logy: false,
             unity_line: true,
             series: vec![
-                Series { column: 3, title: "tuning table" },
-                Series { column: 4, title: "PLogGP" },
+                Series {
+                    column: 3,
+                    title: "tuning table",
+                },
+                Series {
+                    column: 4,
+                    title: "PLogGP",
+                },
             ],
         },
         PlotSpec {
@@ -84,8 +99,14 @@ fn specs() -> Vec<PlotSpec> {
             logy: false,
             unity_line: true,
             series: vec![
-                Series { column: 3, title: "tuning table" },
-                Series { column: 4, title: "PLogGP" },
+                Series {
+                    column: 3,
+                    title: "tuning table",
+                },
+                Series {
+                    column: 4,
+                    title: "PLogGP",
+                },
             ],
         },
         PlotSpec {
@@ -96,10 +117,22 @@ fn specs() -> Vec<PlotSpec> {
             logy: true,
             unity_line: false,
             series: vec![
-                Series { column: 3, title: "persistent" },
-                Series { column: 4, title: "PLogGP" },
-                Series { column: 5, title: "timer PLogGP" },
-                Series { column: 6, title: "hw pt2pt line" },
+                Series {
+                    column: 3,
+                    title: "persistent",
+                },
+                Series {
+                    column: 4,
+                    title: "PLogGP",
+                },
+                Series {
+                    column: 5,
+                    title: "timer PLogGP",
+                },
+                Series {
+                    column: 6,
+                    title: "hw pt2pt line",
+                },
             ],
         },
         PlotSpec {
@@ -112,7 +145,10 @@ fn specs() -> Vec<PlotSpec> {
             series: [3, 4, 5, 6, 7, 8]
                 .iter()
                 .zip(["4", "8", "16", "32", "64", "128"])
-                .map(|(c, t)| Series { column: *c, title: t })
+                .map(|(c, t)| Series {
+                    column: *c,
+                    title: t,
+                })
                 .collect(),
         },
         PlotSpec {
@@ -125,7 +161,10 @@ fn specs() -> Vec<PlotSpec> {
             series: [3, 4, 5]
                 .iter()
                 .zip(["delta=10us", "delta=35us", "delta=100us"])
-                .map(|(c, t)| Series { column: *c, title: t })
+                .map(|(c, t)| Series {
+                    column: *c,
+                    title: t,
+                })
                 .collect(),
         },
         PlotSpec {
@@ -136,8 +175,14 @@ fn specs() -> Vec<PlotSpec> {
             logy: false,
             unity_line: true,
             series: vec![
-                Series { column: 3, title: "PLogGP" },
-                Series { column: 4, title: "timer PLogGP" },
+                Series {
+                    column: 3,
+                    title: "PLogGP",
+                },
+                Series {
+                    column: 4,
+                    title: "timer PLogGP",
+                },
             ],
         },
     ]
@@ -145,8 +190,15 @@ fn specs() -> Vec<PlotSpec> {
 
 fn render(spec: &PlotSpec) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "# Generated by `figures -- plots`; render with: gnuplot {}.gp", spec.slug);
-    let _ = writeln!(s, "set terminal pngcairo size 900,540 enhanced font 'sans,11'");
+    let _ = writeln!(
+        s,
+        "# Generated by `figures -- plots`; render with: gnuplot {}.gp",
+        spec.slug
+    );
+    let _ = writeln!(
+        s,
+        "set terminal pngcairo size 900,540 enhanced font 'sans,11'"
+    );
     let _ = writeln!(s, "set output '{}.png'", spec.slug);
     let _ = writeln!(s, "set datafile separator ','");
     let _ = writeln!(s, "set title '{}'", spec.title);

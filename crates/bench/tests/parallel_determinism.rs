@@ -1,0 +1,32 @@
+//! The parallel harness must be invisible in the results: every experiment
+//! cell is a separately seeded simulation, so fanning cells across worker
+//! threads may only change wall-clock time, never a byte of output.
+
+use partix_bench::experiments::{self, Quality};
+
+/// A full figure table rendered with 8 worker threads is byte-identical to
+/// the serial rendering (the `--jobs` guarantee documented in the bins).
+#[test]
+fn jobs8_output_is_byte_identical_to_serial() {
+    let serial = experiments::fig13_table(Quality::quick().with_jobs(1)).render();
+    let parallel = experiments::fig13_table(Quality::quick().with_jobs(8)).render();
+    assert_eq!(serial, parallel);
+}
+
+/// Same check for a grid-shaped experiment (size × partition-count cells,
+/// including skipped cells that produce empty strings).
+#[test]
+fn jobs8_grid_output_is_byte_identical_to_serial() {
+    let serial = experiments::fig12_table(Quality::quick().with_jobs(1)).render();
+    let parallel = experiments::fig12_table(Quality::quick().with_jobs(8)).render();
+    assert_eq!(serial, parallel);
+}
+
+/// Oversubscription far beyond the cell count still yields identical output
+/// (workers that find no work exit immediately).
+#[test]
+fn jobs_exceeding_cells_is_byte_identical() {
+    let serial = experiments::fig13_table(Quality::quick().with_jobs(1)).render();
+    let oversub = experiments::fig13_table(Quality::quick().with_jobs(64)).render();
+    assert_eq!(serial, oversub);
+}

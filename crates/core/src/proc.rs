@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use partix_sim::{SerialResource, SimTime, TimeSource};
 use partix_verbs::{CompletionQueue, Context, ProtectionDomain, VerbsError, WorkCompletion};
@@ -18,8 +18,13 @@ use crate::config::PartixConfig;
 use crate::events::EventSink;
 use crate::request::{RecvShared, SendShared};
 
-/// Shared handle to the (optional) event sink.
-pub(crate) type SinkHandle = Arc<Mutex<Option<Arc<dyn EventSink>>>>;
+/// Shared handle to the (optional) event sink. Read on every emitted event,
+/// written only when a profiler attaches/detaches — hence read-write locked.
+pub(crate) type SinkHandle = Arc<RwLock<Option<Arc<dyn EventSink>>>>;
+
+/// CQ entries drained per poll call inside the progress loop. One batch per
+/// lock acquisition; the loop re-polls until both CQs are quiescent.
+const POLL_BATCH: usize = 64;
 
 /// Internal per-rank state.
 pub(crate) struct ProcInner {
@@ -45,6 +50,10 @@ pub(crate) struct ProcInner {
     /// a virtual-time serial resource: each incoming completion costs
     /// per-message CPU before its arrival flags become visible.
     pub recv_path: Arc<SerialResource>,
+    /// Reusable completion-drain buffer for the progress engine. Only the
+    /// progress-lock winner touches it, so steady-state polling never
+    /// allocates.
+    pub poll_scratch: Mutex<Vec<WorkCompletion>>,
 }
 
 impl ProcInner {
@@ -55,7 +64,7 @@ impl ProcInner {
 
     /// Report an event to the installed sink, if any.
     pub(crate) fn emit(&self, f: impl FnOnce(&dyn EventSink, SimTime)) {
-        let sink = self.sink.lock().clone();
+        let sink = self.sink.read().clone();
         if let Some(s) = sink {
             f(&*s, self.time.now());
         }
@@ -67,18 +76,22 @@ impl ProcInner {
         let Some(_guard) = self.progress_lock.try_lock() else {
             return;
         };
-        let mut buf: Vec<WorkCompletion> = Vec::with_capacity(64);
+        // Take (don't hold) the scratch buffer: dispatch handlers may
+        // re-enter try_progress, and the recursive call must not deadlock
+        // on it (it just allocates a fresh buffer in that rare case).
+        let mut buf = std::mem::take(&mut *self.poll_scratch.lock());
+        buf.reserve(POLL_BATCH);
         loop {
             let mut advanced = false;
 
             buf.clear();
-            self.send_cq.poll(64, &mut buf);
+            self.send_cq.poll(POLL_BATCH, &mut buf);
             advanced |= !buf.is_empty();
             for wc in buf.drain(..) {
                 self.dispatch_send_wc(wc);
             }
 
-            self.recv_cq.poll(64, &mut buf);
+            self.recv_cq.poll(POLL_BATCH, &mut buf);
             advanced |= !buf.is_empty();
             for wc in buf.drain(..) {
                 self.dispatch_recv_wc(wc);
@@ -89,6 +102,7 @@ impl ProcInner {
                 break;
             }
         }
+        *self.poll_scratch.lock() = buf;
     }
 
     fn dispatch_send_wc(self: &Arc<Self>, wc: WorkCompletion) {

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use partix_sim::{Scheduler, SerialResource, SimTime, TimeSource};
 use partix_verbs::{connect_pair, Network, QpCaps, SimFabric};
@@ -113,7 +113,7 @@ impl World {
             config,
             match_svc: MatchService::default(),
             procs: Mutex::new(HashMap::new()),
-            sink: Arc::new(Mutex::new(None)),
+            sink: Arc::new(RwLock::new(None)),
             req_seq: AtomicU64::new(1),
         });
         (World { inner }, sched)
@@ -141,7 +141,7 @@ impl World {
             config,
             match_svc: MatchService::default(),
             procs: Mutex::new(HashMap::new()),
-            sink: Arc::new(Mutex::new(None)),
+            sink: Arc::new(RwLock::new(None)),
             req_seq: AtomicU64::new(1),
         });
         World { inner }
@@ -169,12 +169,12 @@ impl World {
 
     /// Install an event sink (profiler hook).
     pub fn set_event_sink(&self, sink: Arc<dyn EventSink>) {
-        *self.inner.sink.lock() = Some(sink);
+        *self.inner.sink.write() = Some(sink);
     }
 
     /// Remove the event sink.
     pub fn clear_event_sink(&self) {
-        *self.inner.sink.lock() = None;
+        *self.inner.sink.write() = None;
     }
 
     /// Get (or lazily create) the process for `rank`.
@@ -209,6 +209,7 @@ impl World {
                     drainable: Mutex::new(Vec::new()),
                     ucx_lock: Arc::new(SerialResource::new()),
                     recv_path: Arc::new(SerialResource::new()),
+                    poll_scratch: Mutex::new(Vec::new()),
                 });
                 // In simulated mode, completion events drive the progress
                 // engine directly (the completion-channel analogue); in

@@ -5,10 +5,8 @@
 //! `o_s`/`o_r`, the minimum gap between successive messages `g`, and the time
 //! per byte `G`. All times here are nanoseconds; `G` is ns/byte.
 
-use serde::{Deserialize, Serialize};
-
 /// A LogGP parameter set (times in ns, `big_g` in ns/byte).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LogGpParams {
     /// Network latency `L` (ns): wire + switch traversal time.
     pub l: f64,

@@ -1,16 +1,40 @@
 //! The discrete-event scheduler.
 //!
-//! A [`Scheduler`] owns a priority queue of timestamped events. Events are
-//! boxed closures; executing an event may schedule further events through a
-//! clone of the same handle, which is why the queue lives behind a lock that
-//! is *not* held while an event runs.
+//! A [`Scheduler`] owns a priority queue of timestamped events. Executing an
+//! event may schedule further events through a clone of the same handle,
+//! which is why the queue lives behind a lock that is *not* held while an
+//! event runs.
 //!
 //! Determinism: two events scheduled for the same instant execute in the
 //! order they were scheduled (a monotonically increasing sequence number
 //! breaks ties), so a fixed seed yields a bit-identical simulation.
+//!
+//! # Hot-path layout
+//!
+//! The queue is split into two structures so the steady state allocates
+//! nothing per event:
+//!
+//! - a **slab of event slots** holding the closures. Small closures (up to
+//!   [`INLINE_EVENT_BYTES`] bytes, the common case for simulation callbacks)
+//!   are stored *inline* in the slot — no `Box` per event; larger ones fall
+//!   back to a heap box transparently. Freed slots go on a free list and are
+//!   reused, so slab capacity reaches a high-water mark and stays there;
+//! - an **index min-heap** of small `Copy` entries `(time, seq, slot)`.
+//!   Sift operations move 24-byte records instead of fat closure objects,
+//!   and the heap's backing storage is likewise reused across pops.
+//!
+//! [`run`](Scheduler::run) and [`run_until`](Scheduler::run_until) drain the
+//! queue in **batches of same-timestamp events**: one lock acquisition pops
+//! the whole batch (this is safe — any event a batch member schedules is
+//! clamped to "now" and receives a later sequence number, so it can never
+//! have to run before the rest of the batch). The pending-event count is
+//! derived from the scheduled/executed counters, so
+//! [`events_pending`](Scheduler::events_pending) never takes the lock and
+//! the hot path pays no extra atomic per event.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
@@ -18,28 +42,95 @@ use parking_lot::Mutex;
 
 use crate::time::{SimDuration, SimTime};
 
-/// A scheduled event: a one-shot closure.
-type EventFn = Box<dyn FnOnce() + Send>;
+/// Closures up to this many bytes are stored inline in the event slab
+/// (no per-event allocation). Chosen to fit the runtime's completion and
+/// timer callbacks, which capture a handful of `Arc`s and integers.
+pub const INLINE_EVENT_BYTES: usize = 48;
 
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    f: EventFn,
+const INLINE_WORDS: usize = INLINE_EVENT_BYTES / size_of::<usize>();
+type EventBuf = [usize; INLINE_WORDS];
+
+/// Type-erased one-shot closure with inline small-object storage.
+struct RawEvent {
+    data: MaybeUninit<EventBuf>,
+    call: unsafe fn(*mut EventBuf),
+    drop_fn: unsafe fn(*mut EventBuf),
 }
 
-// Min-heap ordering: earliest time first, then lowest sequence number.
-impl PartialEq for Entry {
+// Safety: only `Send` closures are stored (enforced by `RawEvent::new`'s
+// bound); the erased buffer carries no shared references of its own.
+unsafe impl Send for RawEvent {}
+
+impl RawEvent {
+    fn new<F: FnOnce() + Send + 'static>(f: F) -> Self {
+        unsafe fn call_inline<F: FnOnce()>(p: *mut EventBuf) {
+            (std::ptr::read(p.cast::<F>()))()
+        }
+        unsafe fn drop_inline<F>(p: *mut EventBuf) {
+            std::ptr::drop_in_place(p.cast::<F>())
+        }
+        unsafe fn call_boxed<F: FnOnce()>(p: *mut EventBuf) {
+            (std::ptr::read(p.cast::<Box<F>>()))()
+        }
+        unsafe fn drop_boxed<F>(p: *mut EventBuf) {
+            drop(std::ptr::read(p.cast::<Box<F>>()))
+        }
+
+        let mut data = MaybeUninit::<EventBuf>::uninit();
+        if size_of::<F>() <= size_of::<EventBuf>() && align_of::<F>() <= align_of::<EventBuf>() {
+            unsafe { data.as_mut_ptr().cast::<F>().write(f) };
+            RawEvent {
+                data,
+                call: call_inline::<F>,
+                drop_fn: drop_inline::<F>,
+            }
+        } else {
+            unsafe { data.as_mut_ptr().cast::<Box<F>>().write(Box::new(f)) };
+            RawEvent {
+                data,
+                call: call_boxed::<F>,
+                drop_fn: drop_boxed::<F>,
+            }
+        }
+    }
+
+    /// Execute the closure, consuming the event.
+    fn run(self) {
+        let mut me = ManuallyDrop::new(self);
+        // Safety: ManuallyDrop guarantees drop_fn will not also run; `call`
+        // takes ownership of the closure bytes.
+        unsafe { (me.call)(me.data.as_mut_ptr()) }
+    }
+}
+
+impl Drop for RawEvent {
+    fn drop(&mut self) {
+        // Only reached when an event is discarded unexecuted (queue
+        // teardown); `run` suppresses this via ManuallyDrop.
+        unsafe { (self.drop_fn)(self.data.as_mut_ptr()) }
+    }
+}
+
+/// Heap record: everything ordering needs, nothing else. `Copy`, 24 bytes.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Entry {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed so that BinaryHeap (a max-heap) pops the earliest entry.
         other
@@ -49,11 +140,65 @@ impl Ord for Entry {
     }
 }
 
+const NIL: u32 = u32::MAX;
+
+enum Slot {
+    Vacant { next_free: u32 },
+    Occupied(RawEvent),
+}
+
+struct Queue {
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot>,
+    free_head: u32,
+}
+
+impl Queue {
+    fn with_capacity(n: usize) -> Self {
+        Queue {
+            heap: BinaryHeap::with_capacity(n),
+            slots: Vec::with_capacity(n),
+            free_head: NIL,
+        }
+    }
+
+    fn insert(&mut self, ev: RawEvent) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match std::mem::replace(&mut self.slots[idx as usize], Slot::Occupied(ev)) {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied(_) => unreachable!("free list pointed at an occupied slot"),
+            }
+            idx
+        } else {
+            assert!(self.slots.len() < NIL as usize, "event slab exhausted");
+            self.slots.push(Slot::Occupied(ev));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn take(&mut self, idx: u32) -> RawEvent {
+        let vacant = Slot::Vacant {
+            next_free: self.free_head,
+        };
+        match std::mem::replace(&mut self.slots[idx as usize], vacant) {
+            Slot::Occupied(ev) => {
+                self.free_head = idx;
+                ev
+            }
+            Slot::Vacant { .. } => unreachable!("heap entry pointed at a vacant slot"),
+        }
+    }
+}
+
 struct Inner {
     now: AtomicU64,
     seq: AtomicU64,
     executed: AtomicU64,
-    queue: Mutex<BinaryHeap<Entry>>,
+    queue: Mutex<Queue>,
+    /// Reusable drain buffer for the batched run loops. Taken (not held)
+    /// while events execute, so reentrant `run` calls stay safe.
+    batch_buf: Mutex<Vec<RawEvent>>,
 }
 
 /// Handle to the discrete-event simulation. Cheap to clone; all clones share
@@ -69,15 +214,26 @@ impl Default for Scheduler {
     }
 }
 
+/// Cap on how many same-timestamp events one lock acquisition pops. Bounds
+/// the drain buffer; batches larger than this simply take another trip.
+const MAX_BATCH: usize = 128;
+
 impl Scheduler {
     /// Create an empty simulation at t = 0.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Create an empty simulation with storage preallocated for `events`
+    /// concurrent pending events.
+    pub fn with_capacity(events: usize) -> Self {
         Scheduler {
             inner: Arc::new(Inner {
                 now: AtomicU64::new(0),
                 seq: AtomicU64::new(0),
                 executed: AtomicU64::new(0),
-                queue: Mutex::new(BinaryHeap::new()),
+                queue: Mutex::new(Queue::with_capacity(events)),
+                batch_buf: Mutex::new(Vec::with_capacity(MAX_BATCH.min(events.max(16)))),
             }),
         }
     }
@@ -93,9 +249,16 @@ impl Scheduler {
         self.inner.executed.load(AtomicOrdering::Relaxed)
     }
 
-    /// Number of events currently pending.
+    /// Number of events currently pending. Lock-free: derived from the
+    /// scheduled/executed counters, so hot loops can poll it without
+    /// touching the queue lock. Exact whenever the scheduler is quiescent;
+    /// while a batch executes, events claimed for that batch already count
+    /// as executed.
+    #[inline]
     pub fn events_pending(&self) -> usize {
-        self.inner.queue.lock().len()
+        let scheduled = self.inner.seq.load(AtomicOrdering::Acquire);
+        let executed = self.inner.executed.load(AtomicOrdering::Acquire);
+        scheduled.saturating_sub(executed) as usize
     }
 
     /// Schedule `f` to run at absolute time `t`. Scheduling in the past is a
@@ -105,11 +268,10 @@ impl Scheduler {
         let now = self.now();
         let t = t.max(now);
         let seq = self.inner.seq.fetch_add(1, AtomicOrdering::Relaxed);
-        self.inner.queue.lock().push(Entry {
-            time: t,
-            seq,
-            f: Box::new(f),
-        });
+        let ev = RawEvent::new(f);
+        let mut q = self.inner.queue.lock();
+        let slot = q.insert(ev);
+        q.heap.push(HeapEntry { time: t, seq, slot });
     }
 
     /// Schedule `f` to run `d` after the current virtual time.
@@ -118,12 +280,16 @@ impl Scheduler {
     }
 
     /// Execute the next pending event, advancing the clock to its timestamp.
-    /// Returns `false` when the queue is empty.
+    /// Returns `false` when the queue is empty. One lock acquisition per
+    /// event (pop + slot release together).
     pub fn step(&self) -> bool {
-        let entry = {
+        let (entry, ev) = {
             let mut q = self.inner.queue.lock();
-            match q.pop() {
-                Some(e) => e,
+            match q.heap.pop() {
+                Some(e) => {
+                    let ev = q.take(e.slot);
+                    (e, ev)
+                }
                 None => return false,
             }
         };
@@ -131,39 +297,97 @@ impl Scheduler {
         self.inner
             .now
             .store(entry.time.as_nanos(), AtomicOrdering::Release);
-        (entry.f)();
         self.inner.executed.fetch_add(1, AtomicOrdering::Relaxed);
+        ev.run();
         true
+    }
+
+    /// Pop the next batch of events sharing the earliest timestamp (up to
+    /// `MAX_BATCH`, and only at or before `deadline` when given) with a
+    /// single lock acquisition. The first event is returned by value — in the
+    /// common steady state (batch of one) nothing touches `out` at all; only
+    /// same-timestamp followers are copied into it.
+    fn pop_batch(
+        &self,
+        deadline: Option<SimTime>,
+        out: &mut Vec<RawEvent>,
+    ) -> Option<(SimTime, RawEvent)> {
+        let mut q = self.inner.queue.lock();
+        let first = *q.heap.peek()?;
+        if let Some(d) = deadline {
+            if first.time > d {
+                return None;
+            }
+        }
+        let t = first.time;
+        q.heap.pop();
+        let first_ev = q.take(first.slot);
+        let mut n = 1;
+        while n < MAX_BATCH {
+            match q.heap.peek() {
+                Some(e) if e.time == t => {
+                    let e = q.heap.pop().expect("peeked entry");
+                    let ev = q.take(e.slot);
+                    out.push(ev);
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        Some((t, first_ev))
+    }
+
+    /// Drain loop shared by `run`/`run_until`/`step_n`: executes batches of
+    /// same-timestamp events, locking once per batch instead of per event.
+    fn run_batched(&self, deadline: Option<SimTime>, max_events: Option<u64>) -> u64 {
+        let mut buf = std::mem::take(&mut *self.inner.batch_buf.lock());
+        let mut n: u64 = 0;
+        loop {
+            if let Some(max) = max_events {
+                if n >= max {
+                    break;
+                }
+            }
+            buf.clear();
+            let Some((t, first)) = self.pop_batch(deadline, &mut buf) else {
+                break;
+            };
+            debug_assert!(t >= self.now(), "event queue went backwards");
+            self.inner.now.store(t.as_nanos(), AtomicOrdering::Release);
+            let batch = 1 + buf.len() as u64;
+            n += batch;
+            self.inner
+                .executed
+                .fetch_add(batch, AtomicOrdering::Relaxed);
+            first.run();
+            for ev in buf.drain(..) {
+                ev.run();
+            }
+        }
+        buf.clear();
+        *self.inner.batch_buf.lock() = buf;
+        n
     }
 
     /// Run until the event queue is empty. Returns the number of events
     /// executed by this call.
     pub fn run(&self) -> u64 {
-        let mut n = 0;
-        while self.step() {
-            n += 1;
-        }
-        n
+        self.run_batched(None, None)
+    }
+
+    /// Execute up to `max` pending events (in timestamp order, batched).
+    /// Returns how many ran; fewer than `max` means the queue drained.
+    /// Note: a same-timestamp batch is never split, so up to `MAX_BATCH - 1`
+    /// events beyond `max` may execute.
+    pub fn step_n(&self, max: u64) -> u64 {
+        self.run_batched(None, Some(max))
     }
 
     /// Run until the queue is empty or the next event is later than
     /// `deadline` (which is left unexecuted). The clock does not advance past
     /// the last executed event.
     pub fn run_until(&self, deadline: SimTime) -> u64 {
-        let mut n = 0;
-        loop {
-            {
-                let q = self.inner.queue.lock();
-                match q.peek() {
-                    Some(e) if e.time <= deadline => {}
-                    _ => return n,
-                }
-            }
-            if !self.step() {
-                return n;
-            }
-            n += 1;
-        }
+        self.run_batched(Some(deadline), None)
     }
 
     /// Run with a safety valve: panics if more than `max_events` execute,
@@ -178,6 +402,13 @@ impl Scheduler {
             );
         }
         n
+    }
+
+    /// High-water mark of the event slab (diagnostics): how many slots have
+    /// ever been live at once. Steady-state workloads should see this
+    /// plateau while `events_executed` keeps climbing.
+    pub fn slab_high_water(&self) -> usize {
+        self.inner.queue.lock().slots.len()
     }
 }
 
@@ -288,5 +519,102 @@ mod tests {
         sim.run();
         assert_eq!(sim.events_executed(), 2);
         assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn step_n_respects_limit_and_order() {
+        let sim = Scheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for t in [5u64, 1, 3, 2, 4] {
+            let log = log.clone();
+            sim.at(SimTime(t), move || log.lock().push(t));
+        }
+        let ran = sim.step_n(3);
+        assert_eq!(ran, 3);
+        assert_eq!(*log.lock(), vec![1, 2, 3]);
+        assert_eq!(sim.step_n(10), 2);
+        assert_eq!(*log.lock(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_in_steady_state() {
+        let sim = Scheduler::new();
+        // Chain 1000 events, at most 2 pending at a time.
+        fn chain(sim: Scheduler, remaining: u32) {
+            if remaining == 0 {
+                return;
+            }
+            let s2 = sim.clone();
+            sim.after(SimDuration(1), move || chain(s2.clone(), remaining - 1));
+        }
+        chain(sim.clone(), 1_000);
+        sim.run();
+        assert_eq!(sim.events_executed(), 1_000);
+        assert!(
+            sim.slab_high_water() <= 2,
+            "slab grew to {} slots for a 1-deep chain",
+            sim.slab_high_water()
+        );
+    }
+
+    #[test]
+    fn large_closures_fall_back_to_boxing() {
+        let sim = Scheduler::new();
+        let big = [7u8; 512]; // larger than INLINE_EVENT_BYTES
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s2 = sum.clone();
+        sim.at(SimTime(1), move || {
+            s2.store(
+                big.iter().map(|&b| b as usize).sum(),
+                AtomicOrdering::Relaxed,
+            );
+        });
+        sim.run();
+        assert_eq!(sum.load(AtomicOrdering::Relaxed), 7 * 512);
+    }
+
+    #[test]
+    fn unexecuted_events_are_dropped_cleanly() {
+        // An Arc captured by a never-run event must still be released when
+        // the scheduler is dropped (drop_fn path).
+        let sentinel = Arc::new(());
+        let sim = Scheduler::new();
+        let s2 = sentinel.clone();
+        sim.at(SimTime(1), move || {
+            let _keep = s2;
+        });
+        drop(sim);
+        assert_eq!(Arc::strong_count(&sentinel), 1);
+    }
+
+    #[test]
+    fn batches_larger_than_max_batch_stay_ordered() {
+        let sim = Scheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let n = MAX_BATCH * 3 + 17;
+        for i in 0..n {
+            let log = log.clone();
+            sim.at(SimTime(7), move || log.lock().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.lock(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reentrant_run_from_event_is_safe() {
+        // An event invoking run() on its own scheduler must not deadlock or
+        // corrupt the drain buffer.
+        let sim = Scheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let s2 = sim.clone();
+        sim.at(SimTime(1), move || {
+            l1.lock().push("outer");
+            let l3 = l2.clone();
+            s2.at(SimTime(2), move || l3.lock().push("inner"));
+            s2.run();
+        });
+        sim.run();
+        assert_eq!(*log.lock(), vec!["outer", "inner"]);
     }
 }

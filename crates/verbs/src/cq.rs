@@ -10,15 +10,22 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::types::WorkCompletion;
+
+/// Initial ring capacity: sized to the runtime's poll batch so steady-state
+/// traffic never reallocates the entry deque.
+const CQ_INITIAL_CAPACITY: usize = 64;
 
 /// A completion queue.
 pub struct CompletionQueue {
     id: u32,
     entries: Mutex<VecDeque<WorkCompletion>>,
-    notify: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// Read-mostly: written once at startup (`set_notify`), read on every
+    /// completion push. An `RwLock` keeps concurrent pushers from
+    /// serialising on hook lookup the way the old `Mutex` did.
+    notify: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
     pushed: AtomicU64,
     polled: AtomicU64,
 }
@@ -27,8 +34,8 @@ impl CompletionQueue {
     pub(crate) fn new(id: u32) -> Arc<Self> {
         Arc::new(CompletionQueue {
             id,
-            entries: Mutex::new(VecDeque::new()),
-            notify: Mutex::new(None),
+            entries: Mutex::new(VecDeque::with_capacity(CQ_INITIAL_CAPACITY)),
+            notify: RwLock::new(None),
             pushed: AtomicU64::new(0),
             polled: AtomicU64::new(0),
         })
@@ -44,19 +51,22 @@ impl CompletionQueue {
     /// re-entrancy-safe (the partitioned runtime uses a try-lock progress
     /// engine for exactly this reason).
     pub fn set_notify(&self, hook: Arc<dyn Fn() + Send + Sync>) {
-        *self.notify.lock() = Some(hook);
+        *self.notify.write() = Some(hook);
     }
 
     /// Remove the notify hook.
     pub fn clear_notify(&self) {
-        *self.notify.lock() = None;
+        *self.notify.write() = None;
     }
 
     /// Push a completion and fire the notify hook. Fabric-internal.
     pub(crate) fn push(&self, wc: WorkCompletion) {
         self.entries.lock().push_back(wc);
         self.pushed.fetch_add(1, Ordering::Relaxed);
-        let hook = self.notify.lock().clone();
+        // Clone under the read guard, call outside it: the hook may
+        // re-enter the CQ (the progress engine polls from inside it) or
+        // swap itself out, and must not hold the lock while it does.
+        let hook = self.notify.read().clone();
         if let Some(h) = hook {
             h();
         }
@@ -82,9 +92,13 @@ impl CompletionQueue {
         wc
     }
 
-    /// Number of completions currently queued.
+    /// Number of completions currently queued, computed lock-free from the
+    /// push/poll counters. A relaxed snapshot: exact whenever the queue is
+    /// quiescent, at worst momentarily stale under concurrent traffic.
     pub fn depth(&self) -> usize {
-        self.entries.lock().len()
+        let pushed = self.pushed.load(Ordering::Relaxed);
+        let polled = self.polled.load(Ordering::Relaxed);
+        pushed.saturating_sub(polled) as usize
     }
 
     /// Total completions ever pushed (diagnostics).

@@ -13,6 +13,9 @@
 //!   cores (Fig. 14);
 //! - [`halo`] — a 2-D periodic halo exchange (extension; the second
 //!   application pattern of the benchmark suite the paper builds on);
+//! - [`parallel`] — order-preserving parallel fan-out of independent
+//!   experiment cells across worker threads (each cell owns its scheduler
+//!   and seed, so results are byte-identical at any job count);
 //! - [`tuning_search`] — the brute-force tuning-table construction (§IV-B);
 //! - [`netgauge_provider`] — LogGP parameter measurement over the simulated
 //!   MPI path (the paper's Netgauge step);
@@ -47,6 +50,7 @@ pub mod halo;
 pub mod netgauge_provider;
 pub mod noise;
 pub mod overhead;
+pub mod parallel;
 pub mod perceived;
 pub mod runner;
 pub mod stats;

@@ -42,6 +42,10 @@ pub struct OverheadSweep {
     pub iters: usize,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads to fan the per-size cells across (1 = serial). Each
+    /// size is an independent simulation, so results are identical at any
+    /// job count.
+    pub jobs: usize,
 }
 
 impl OverheadSweep {
@@ -54,17 +58,22 @@ impl OverheadSweep {
             warmup: 10,
             iters: 100,
             seed: 0xC0FFEE,
+            jobs: 1,
         }
     }
 
     /// Run the sweep. Sizes smaller than the partition count are skipped
     /// (a partition must hold at least one byte).
     pub fn run(&self) -> Vec<OverheadPoint> {
-        self.sizes
+        let sizes: Vec<usize> = self
+            .sizes
             .iter()
-            .filter(|s| **s >= self.partitions as usize)
-            .map(|&total| run_overhead_point(&self.partix, self.partitions, total, self))
-            .collect()
+            .copied()
+            .filter(|s| *s >= self.partitions as usize)
+            .collect();
+        crate::parallel::par_map(self.jobs, sizes, |total| {
+            run_overhead_point(&self.partix, self.partitions, total, self)
+        })
     }
 }
 

@@ -42,6 +42,9 @@ pub struct PerceivedSweep {
     pub iters: usize,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads for the per-size cells (1 = serial; results are
+    /// identical at any job count).
+    pub jobs: usize,
 }
 
 impl PerceivedSweep {
@@ -58,34 +61,37 @@ impl PerceivedSweep {
             warmup: 3,
             iters: 10,
             seed: 0xBEEF,
+            jobs: 1,
         }
     }
 
     /// Run the sweep.
     pub fn run(&self) -> Vec<PerceivedPoint> {
-        self.sizes
+        let sizes: Vec<usize> = self
+            .sizes
             .iter()
-            .filter(|s| **s >= self.partitions as usize)
-            .map(|&total| {
-                let mut partix = self.partix.clone();
-                partix.fabric.copy_data = false;
-                let cfg = Pt2PtConfig {
-                    partix,
-                    partitions: self.partitions,
-                    part_bytes: total / self.partitions as usize,
-                    warmup: self.warmup,
-                    iters: self.iters,
-                    timing: ThreadTiming::perceived_bw(self.compute_ms, self.noise_frac),
-                    seed: self.seed,
-                };
-                let r = run_pt2pt(&cfg);
-                PerceivedPoint {
-                    total_bytes: cfg.total_bytes(),
-                    bandwidth: r.perceived_bandwidth(cfg.total_bytes()),
-                    tail_ns: r.mean_tail_ns(),
-                }
-            })
-            .collect()
+            .copied()
+            .filter(|s| *s >= self.partitions as usize)
+            .collect();
+        crate::parallel::par_map(self.jobs, sizes, |total| {
+            let mut partix = self.partix.clone();
+            partix.fabric.copy_data = false;
+            let cfg = Pt2PtConfig {
+                partix,
+                partitions: self.partitions,
+                part_bytes: total / self.partitions as usize,
+                warmup: self.warmup,
+                iters: self.iters,
+                timing: ThreadTiming::perceived_bw(self.compute_ms, self.noise_frac),
+                seed: self.seed,
+            };
+            let r = run_pt2pt(&cfg);
+            PerceivedPoint {
+                total_bytes: cfg.total_bytes(),
+                bandwidth: r.perceived_bandwidth(cfg.total_bytes()),
+                tail_ns: r.mean_tail_ns(),
+            }
+        })
     }
 }
 

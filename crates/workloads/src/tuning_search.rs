@@ -33,6 +33,10 @@ pub struct TuningSearch {
     pub iters: usize,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads to fan the per-key searches across (1 = serial).
+    /// Every candidate run is an independent seeded simulation, so the
+    /// resulting table is identical at any job count.
+    pub jobs: usize,
 }
 
 impl TuningSearch {
@@ -47,20 +51,29 @@ impl TuningSearch {
             warmup: 2,
             iters: 10,
             seed: 0x7AB1E,
+            jobs: 1,
         }
     }
 
     /// Run the exhaustive search and build the table.
     pub fn run(&self) -> TuningTable {
+        let keys: Vec<(u32, usize)> = self
+            .partition_counts
+            .iter()
+            .flat_map(|&parts| {
+                self.sizes
+                    .iter()
+                    .filter(move |&&size| size >= parts as usize)
+                    .map(move |&size| (parts, size))
+            })
+            .collect();
+        let results = crate::parallel::par_map(self.jobs, keys, |(parts, size)| {
+            (parts, size, self.best_for(parts, size))
+        });
         let mut table = TuningTable::new();
-        for &parts in &self.partition_counts {
-            for &size in &self.sizes {
-                if size < parts as usize {
-                    continue;
-                }
-                if let Some((t, q, _ns)) = self.best_for(parts, size) {
-                    table.insert(parts, size as u64, t, q);
-                }
+        for (parts, size, best) in results {
+            if let Some((t, q, _ns)) = best {
+                table.insert(parts, size as u64, t, q);
             }
         }
         table

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface the
+//! workspace's benches use: `Criterion::bench_function`,
+//! `Criterion::benchmark_group` (+ `sample_size`/`bench_function`/`finish`),
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!`, and `black_box`.
+//!
+//! Supported CLI arguments (everything else cargo passes is ignored):
+//!
+//! - `--test` — run every benchmark body exactly once (smoke mode);
+//! - a positional `FILTER` — only run benchmarks whose id contains it.
+//!
+//! Results are printed as `name  median ns/iter (min .. max)` and collected
+//! on the [`Criterion`] value; callers can export them with
+//! [`Criterion::results`] / [`Criterion::write_json`], or set `BENCH_JSON` to
+//! a path to have `criterion_main!` write them automatically.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` when run in a group).
+    pub id: String,
+    /// Median ns per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    mode: BenchMode,
+    ns_per_iter: Vec<f64>,
+}
+
+enum BenchMode {
+    /// Run the body once, unmeasured (`--test`).
+    Smoke,
+    /// Measure `samples` samples of `iters` iterations each.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Time repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(f());
+            }
+            BenchMode::Measure { samples } => {
+                // Calibrate: target ~20 ms per sample, capped at 1k iters.
+                let t0 = Instant::now();
+                black_box(f());
+                let once = t0.elapsed().as_nanos().max(1) as f64;
+                let iters = ((20e6 / once) as u64).clamp(1, 1_000);
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let total = t0.elapsed().as_nanos() as f64;
+                    self.ns_per_iter.push(total / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            default_samples: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build a harness from the process CLI arguments.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" | "-t" => c.test_mode = true,
+                // Cargo/criterion flags with a value we deliberately ignore.
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with('-') => {}
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c
+    }
+
+    fn run_one(&mut self, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                BenchMode::Smoke
+            } else {
+                BenchMode::Measure { samples }
+            },
+            ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok (smoke)");
+            return;
+        }
+        let mut v = b.ns_per_iter;
+        if v.is_empty() {
+            return;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        let res = BenchResult {
+            id: id.to_string(),
+            median_ns: median,
+            min_ns: v[0],
+            max_ns: v[v.len() - 1],
+            iters_per_sample: 0,
+            samples: v.len(),
+        };
+        println!(
+            "{:<48} {:>14.1} ns/iter  ({:.1} .. {:.1})",
+            res.id, res.median_ns, res.min_ns, res.max_ns
+        );
+        self.results.push(res);
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(id.as_ref(), samples, &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Whether `--test` smoke mode is active.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Serialize results as a JSON array.
+    pub fn results_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"samples\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Write results as JSON to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.results_json())
+    }
+
+    /// End-of-run hook used by `criterion_main!`: honours `BENCH_JSON`.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                self.write_json(std::path::Path::new(&path))
+                    .expect("write BENCH_JSON");
+                eprintln!("wrote benchmark results to {path}");
+            }
+        }
+    }
+}
+
+/// Scoped group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Run a benchmark inside the group (id becomes `group/name`).
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let samples = self.samples;
+        self.c.run_one(&full, samples, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns >= 0.0);
+        let json = c.results_json();
+        assert!(json.contains("\"id\": \"noop\""));
+    }
+
+    #[test]
+    fn groups_namespace_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("x", |b| b.iter(|| black_box(2) * 2));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].id, "g/x");
+        assert_eq!(c.results()[0].samples, 3);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion {
+            filter: Some("match".into()),
+            ..Criterion::default()
+        };
+        c.bench_function("other", |b| b.iter(|| ()));
+        c.bench_function("match_this", |b| b.iter(|| ()));
+        assert_eq!(c.results().len(), 1);
+    }
+}

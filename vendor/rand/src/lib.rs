@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset of the API the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `RngExt` extension trait with
+//! `random()` / `random_range()`. The generator is xoshiro256++ seeded via
+//! splitmix64 — deterministic across platforms and releases of this shim,
+//! which is all the simulation's reproducibility contract requires (it never
+//! promises the upstream `StdRng` byte stream).
+
+/// Types that can seed themselves from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniformly samplable output types for [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// Types usable as [`RngExt::random_range`] bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)` (`hi` exclusive).
+    fn draw_range(rng: &mut rngs::StdRng, lo: Self, hi_excl: Self) -> Self;
+    /// The successor value, for inclusive upper bounds. Saturating.
+    fn successor(self) -> Self;
+}
+
+/// Extension methods on random generators (the `rand::Rng` analogue).
+pub trait RngExt {
+    /// Draw a uniformly random value.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Draw uniformly from `range` (`a..b` or `a..=b`). Panics if empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: std::ops::RangeBounds<T>;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::SeedableRng;
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+
+        /// Next raw 32-bit output (upper half of a 64-bit draw).
+        #[inline]
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = std::array::from_fn(|_| splitmix64(&mut sm));
+            StdRng { s }
+        }
+    }
+}
+
+use rngs::StdRng;
+use std::ops::Bound;
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn draw(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            #[inline]
+            fn draw_range(rng: &mut StdRng, lo: Self, hi_excl: Self) -> Self {
+                assert!(lo < hi_excl, "empty random_range");
+                let span = (hi_excl - lo) as u128;
+                // Widening multiply keeps the draw unbiased enough for
+                // simulation noise (error < 2^-64).
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                lo + draw
+            }
+            #[inline]
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn draw_range(rng: &mut StdRng, lo: Self, hi_excl: Self) -> Self {
+        assert!(lo < hi_excl, "empty random_range");
+        lo + f64::draw(rng) * (hi_excl - lo)
+    }
+    #[inline]
+    fn successor(self) -> Self {
+        self
+    }
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: std::ops::RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.successor(),
+            Bound::Unbounded => panic!("random_range requires a lower bound"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.successor(),
+            Bound::Excluded(&v) => v,
+            Bound::Unbounded => panic!("random_range requires an upper bound"),
+        };
+        T::draw_range(self, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v: u64 = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u32 = r.random_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = r.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_draws_cover_types() {
+        let mut r = StdRng::seed_from_u64(2);
+        let _: u64 = r.random();
+        let _: bool = r.random();
+        let f: f64 = r.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+}
