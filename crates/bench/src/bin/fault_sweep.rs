@@ -1,0 +1,92 @@
+//! Run the fault sweep: aggregation strategies under injected wire loss
+//! with the RC reliability layer on. Writes `results/fault_sweep.json`.
+//!
+//! ```text
+//! fault_sweep [--quick] [--jobs N] [--out DIR] [--seed S]
+//! ```
+//!
+//! `--jobs N` fans independent cells across N worker threads (default: the
+//! machine's available parallelism); output is byte-identical at any count.
+
+use std::path::PathBuf;
+
+use partix_core::PartixConfig;
+use partix_workloads::fault_sweep::{strategy_name, FaultSweep};
+
+fn main() {
+    let mut quick = false;
+    let mut jobs = partix_workloads::parallel::default_jobs();
+    let mut out = PathBuf::from("results");
+    let mut seed: Option<u64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--jobs" | "-j" => {
+                let n = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = n else {
+                    eprintln!("error: --jobs requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                jobs = n.max(1);
+            }
+            "--out" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --out requires a directory argument");
+                    std::process::exit(2);
+                };
+                out = PathBuf::from(dir);
+            }
+            "--seed" => {
+                let s = it.next().and_then(|v| v.parse::<u64>().ok());
+                let Some(s) = s else {
+                    eprintln!("error: --seed requires an integer argument");
+                    std::process::exit(2);
+                };
+                seed = Some(s);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut sweep = FaultSweep::new(PartixConfig::default());
+    sweep.jobs = jobs;
+    if let Some(s) = seed {
+        sweep.seed = s;
+    }
+    if quick {
+        sweep.partitions = 8;
+        sweep.part_bytes = 1 << 10;
+        sweep.loss_rates = vec![0.0, 0.05];
+        sweep.warmup = 1;
+        sweep.iters = 5;
+    }
+
+    let cells = sweep.run();
+    println!(
+        "{:<14} {:>7} {:>12} {:>8} {:>8} {:>6} {:>6}",
+        "aggregator", "drop_p", "mean_us", "drops", "retx", "dups", "recov"
+    );
+    for c in &cells {
+        println!(
+            "{:<14} {:>7} {:>12.2} {:>8} {:>8} {:>6} {:>6}{}",
+            strategy_name(c.aggregator),
+            c.drop_p,
+            c.mean_ns / 1_000.0,
+            c.drops,
+            c.retransmits,
+            c.duplicates,
+            c.recoveries,
+            if c.failed { "  FAILED" } else { "" },
+        );
+    }
+    let path = out.join("fault_sweep.json");
+    sweep.write_json(&cells, &path).expect("write results");
+    println!("wrote {}", path.display());
+    if cells.iter().any(|c| c.failed) {
+        std::process::exit(1);
+    }
+}

@@ -8,10 +8,63 @@ use std::sync::Arc;
 
 use partix_model::LogGpParams;
 use partix_sim::SimDuration;
-use partix_verbs::FabricParams;
+use partix_verbs::{FabricParams, LossyConfig};
 
 use crate::tuning::TuningTable;
 use crate::ucx::UcxModel;
+
+/// Transport reliability knobs: the `ibv_modify_qp` retry attributes applied
+/// to every channel QP at RTR/RTS, plus the runtime's QP recovery budget.
+///
+/// The wire layer retries on its own (retransmission with exponential
+/// backoff, RNR NAK waits); only exhaustion surfaces an error completion.
+/// The runtime then attempts *recovery*: cycle the errored QP back to RTS
+/// and re-post the failed WR, up to [`max_recoveries`](Self::max_recoveries)
+/// times per round. Only an exhausted recovery budget reaches the
+/// application as `TransferFailed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Ack-timeout exponent (IB-style: the timer is `4.096 us x 2^timeout`).
+    /// Default 5 (~131 us) so retransmissions resolve at simulated
+    /// micro-benchmark time scales; real deployments run ~14 (~67 ms).
+    pub timeout: u8,
+    /// Transport retries before a WR fails with `RetryExceeded`.
+    pub retry_cnt: u8,
+    /// Receiver-not-ready retries before `RnrRetryExceeded`.
+    pub rnr_retry: u8,
+    /// RNR NAK back-off interval (ns).
+    pub min_rnr_timer_ns: u64,
+    /// QP recovery cycles (Error → Reset → Init → RTR → RTS + re-post)
+    /// allowed per request round; 0 disables recovery entirely, restoring
+    /// fail-on-first-error behaviour.
+    pub max_recoveries: u64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            timeout: 5,
+            retry_cnt: 7,
+            rnr_retry: 7,
+            min_rnr_timer_ns: 10_000,
+            max_recoveries: 64,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// No wire retries, no RNR waits, no QP recovery: the first loss or
+    /// error completion poisons the request (the pre-reliability semantics;
+    /// also what fault-injection tests want).
+    pub fn disabled() -> Self {
+        ReliabilityConfig {
+            retry_cnt: 0,
+            rnr_retry: 0,
+            max_recoveries: 0,
+            ..ReliabilityConfig::default()
+        }
+    }
+}
 
 /// Which aggregation strategy a send request uses (paper §IV-B/C/D).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +138,12 @@ pub struct PartixConfig {
     pub adaptive_delta: bool,
     /// Safety margin applied to the measured arrival spread.
     pub adaptive_delta_margin: f64,
+    /// Transport reliability: QP retry attributes and the recovery budget.
+    pub reliability: ReliabilityConfig,
+    /// Optional wire loss model: when set, simulated worlds wrap their
+    /// fabric in a [`partix_verbs::LossyFabric`] with this configuration
+    /// (chaos testing; `None` = perfect wire).
+    pub loss: Option<LossyConfig>,
 }
 
 impl Default for PartixConfig {
@@ -104,6 +163,8 @@ impl Default for PartixConfig {
             tuning_table: None,
             adaptive_delta: false,
             adaptive_delta_margin: 1.2,
+            reliability: ReliabilityConfig::default(),
+            loss: None,
         }
     }
 }
@@ -126,6 +187,11 @@ impl PartixConfig {
     /// - `PARTIX_SETUP_DELAY_US` — modelled channel bring-up time
     /// - `PARTIX_DECISION_DELAY_US` — PLogGP planning delay input
     /// - `PARTIX_ADAPTIVE_DELTA` — `1`/`true` enables online delta tuning
+    /// - `PARTIX_RETRY_CNT` — transport retries before `RetryExceeded`
+    /// - `PARTIX_RNR_RETRY` — receiver-not-ready retries
+    /// - `PARTIX_MAX_RECOVERIES` — QP recovery budget per round
+    /// - `PARTIX_DROP_P` — wire drop probability (enables the lossy fabric)
+    /// - `PARTIX_LOSS_SEED` — seed for the lossy fabric's fault stream
     ///
     /// Unknown or malformed values are ignored (the variable keeps its
     /// built-in default), matching typical MCA-parameter leniency.
@@ -155,6 +221,23 @@ impl PartixConfig {
         }
         if let Some(v) = get("PARTIX_ADAPTIVE_DELTA") {
             self.adaptive_delta = matches!(v.as_str(), "1" | "true" | "yes" | "on");
+        }
+        if let Some(v) = get("PARTIX_RETRY_CNT").and_then(|s| s.parse::<u8>().ok()) {
+            self.reliability.retry_cnt = v;
+        }
+        if let Some(v) = get("PARTIX_RNR_RETRY").and_then(|s| s.parse::<u8>().ok()) {
+            self.reliability.rnr_retry = v;
+        }
+        if let Some(v) = get("PARTIX_MAX_RECOVERIES").and_then(|s| s.parse::<u64>().ok()) {
+            self.reliability.max_recoveries = v;
+        }
+        if let Some(p) = get("PARTIX_DROP_P").and_then(|s| s.parse::<f64>().ok()) {
+            if (0.0..=1.0).contains(&p) && p > 0.0 {
+                let seed = get("PARTIX_LOSS_SEED")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(0x10_55);
+                self.loss = Some(LossyConfig::drops(p, seed));
+            }
         }
         self
     }

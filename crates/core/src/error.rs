@@ -112,3 +112,87 @@ impl From<VerbsError> for PartixError {
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, PartixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    /// One instance of every variant, paired with a substring its `Display`
+    /// output must carry.
+    fn all_variants() -> Vec<(PartixError, &'static str)> {
+        vec![
+            (PartixError::NotActive, "not active"),
+            (PartixError::AlreadyActive, "already active"),
+            (
+                PartixError::PartitionOutOfRange {
+                    index: 9,
+                    partitions: 8,
+                },
+                "partition 9 out of range (count 8)",
+            ),
+            (
+                PartixError::DoublePready { index: 4 },
+                "twice for partition 4",
+            ),
+            (PartixError::ChannelNotReady, "setup not complete"),
+            (
+                PartixError::BadPartitionCount { partitions: 0 },
+                "invalid partition count 0",
+            ),
+            (PartixError::ZeroPartitionSize, "non-zero"),
+            (
+                PartixError::BufferTooSmall {
+                    required: 1024,
+                    available: 512,
+                },
+                "need 1024 bytes, have 512",
+            ),
+            (PartixError::WrongNode, "different node"),
+            (
+                PartixError::WouldBlockInSim,
+                "would block in simulated mode",
+            ),
+            (
+                PartixError::TransferFailed {
+                    status: "transport retries exhausted",
+                },
+                "transport retries exhausted",
+            ),
+            (
+                PartixError::Verbs(VerbsError::RecvQueueFull),
+                "verbs error: receive queue full",
+            ),
+        ]
+    }
+
+    #[test]
+    fn display_carries_the_diagnostic_for_every_variant() {
+        for (err, needle) in all_variants() {
+            let text = err.to_string();
+            assert!(
+                text.contains(needle),
+                "{err:?}: display {text:?} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_the_verbs_wrapper_has_a_source() {
+        for (err, _) in all_variants() {
+            match &err {
+                PartixError::Verbs(inner) => {
+                    let src = err.source().expect("Verbs must expose its cause");
+                    assert_eq!(src.to_string(), inner.to_string());
+                }
+                _ => assert!(err.source().is_none(), "{err:?} should have no source"),
+            }
+        }
+    }
+
+    #[test]
+    fn verbs_errors_convert_via_from() {
+        let e: PartixError = VerbsError::PeerNotSet.into();
+        assert_eq!(e, PartixError::Verbs(VerbsError::PeerNotSet));
+    }
+}

@@ -115,6 +115,8 @@ impl Proc {
             wr_completed: AtomicU32::new(0),
             wr_posted_total: AtomicU64::new(0),
             completed_rounds: AtomicU64::new(0),
+            recoveries_round: AtomicU64::new(0),
+            recoveries_total: AtomicU64::new(0),
             complete_cbs: Mutex::new(Vec::new()),
             error: OnceLock::new(),
             arrival_log: Mutex::new(Vec::new()),
@@ -318,6 +320,13 @@ impl PsendRequest {
     /// Fatal transfer error, if one occurred.
     pub fn error(&self) -> Option<&'static str> {
         self.shared.error.get().copied()
+    }
+
+    /// QP recovery cycles performed across the request's lifetime (each one
+    /// is an error completion answered by cycling the QP back to RTS and
+    /// re-posting the failed WR).
+    pub fn recoveries(&self) -> u64 {
+        self.shared.recoveries_total.load(Ordering::Relaxed)
     }
 
     /// The timer aggregator's delta currently in force (changes between

@@ -60,7 +60,7 @@ mod typed;
 mod ucx;
 mod world;
 
-pub use config::{AggregatorKind, PartixConfig};
+pub use config::{AggregatorKind, PartixConfig, ReliabilityConfig};
 pub use error::{PartixError, Result};
 pub use events::{EventSink, NullSink};
 pub use handles::{PrecvRequest, Proc, PsendRequest, MAX_PARTITIONS};
@@ -72,4 +72,4 @@ pub use world::World;
 
 // Re-export the pieces of the substrate users need to drive the API.
 pub use partix_sim::{Scheduler, SimDuration, SimTime};
-pub use partix_verbs::{FabricParams, MemoryRegion};
+pub use partix_verbs::{FabricParams, LossyConfig, LossyFabric, MemoryRegion};

@@ -141,6 +141,13 @@ impl ProcInner {
                         ch.pending.lock().push_front(p);
                         break;
                     }
+                    Err(VerbsError::InvalidQpState { .. }) => {
+                        // The QP errored (or is mid-recovery). Hold the WR:
+                        // either recovery brings the QP back to RTS and a
+                        // later drain posts it, or poisoning retires it.
+                        ch.pending.lock().push_front(p);
+                        break;
+                    }
                     Err(e) => panic!("unexpected verbs failure draining pending WRs: {e}"),
                 }
             }

@@ -13,7 +13,7 @@
 //!   of a group, flushes the arrived subset as maximal contiguous runs on
 //!   expiry, and lets post-flush arrivals send their own runs.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 
 use partix_sim::{SimDuration, SimTime};
 use partix_verbs::{
-    imm, MemoryRegion, Opcode, PostOptions, QueuePair, SendWr, Sge, VerbsError, WcStatus,
+    imm, MemoryRegion, Opcode, PostOptions, QpState, QueuePair, SendWr, Sge, VerbsError, WcStatus,
     WorkCompletion,
 };
 
@@ -49,6 +49,8 @@ pub(crate) struct GroupState {
 }
 
 /// A WR that hit the hardware outstanding cap and waits for a free slot.
+/// Also the retained image of every in-flight WR, so QP recovery can
+/// re-post a failed transfer byte-identically.
 pub(crate) struct PendingPost {
     pub qp_idx: u32,
     pub wr: SendWr,
@@ -63,6 +65,10 @@ pub(crate) struct SendChannel {
     pub remote_rkey: u32,
     pub groups: Vec<GroupState>,
     pub pending: Mutex<VecDeque<PendingPost>>,
+    /// Image of every WR handed to the wire and not yet retired, keyed by
+    /// WR id. Consulted by the recovery path to re-post a failed WR after
+    /// cycling its QP back to RTS.
+    pub inflight: Mutex<HashMap<u64, PendingPost>>,
     /// Live delta for the timer aggregator (ns); seeded from the plan and
     /// rewritten each round when adaptive tuning is on.
     pub delta_ns: AtomicU64,
@@ -100,6 +106,11 @@ pub(crate) struct SendShared {
     pub wr_completed: AtomicU32,
     pub wr_posted_total: AtomicU64,
     pub completed_rounds: AtomicU64,
+    /// QP recovery cycles spent this round (bounded by
+    /// `reliability.max_recoveries`).
+    pub recoveries_round: AtomicU64,
+    /// QP recovery cycles across the request's lifetime (diagnostics).
+    pub recoveries_total: AtomicU64,
     pub complete_cbs: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
     pub error: OnceLock<&'static str>,
     /// Per-round pready timestamps (populated only under adaptive delta).
@@ -150,6 +161,7 @@ impl SendShared {
         self.sent_count.store(0, Ordering::Relaxed);
         self.wr_posted.store(0, Ordering::Relaxed);
         self.wr_completed.store(0, Ordering::Release);
+        self.recoveries_round.store(0, Ordering::Relaxed);
         self.arrival_log.lock().clear();
         let round = self.round.fetch_add(1, Ordering::AcqRel) + 1;
         self.proc
@@ -347,7 +359,23 @@ impl SendShared {
 
     /// Hand a WR to the QP, spilling to the channel's software pending queue
     /// when the hardware outstanding cap is hit (drained from progress).
-    pub(crate) fn submit(&self, ch: &SendChannel, qp_idx: u32, wr: SendWr, opts: PostOptions) {
+    pub(crate) fn submit(
+        self: &Arc<Self>,
+        ch: &SendChannel,
+        qp_idx: u32,
+        wr: SendWr,
+        opts: PostOptions,
+    ) {
+        // Retain the WR image while it is in flight so a failed completion
+        // can re-post it after QP recovery.
+        ch.inflight.lock().insert(
+            wr.wr_id,
+            PendingPost {
+                qp_idx,
+                wr: wr.clone(),
+                opts,
+            },
+        );
         match ch.qps[qp_idx as usize].post_send_with(wr.clone(), opts) {
             Ok(()) => {}
             Err(VerbsError::SendQueueFull { .. }) => {
@@ -355,16 +383,30 @@ impl SendShared {
                     .lock()
                     .push_back(PendingPost { qp_idx, wr, opts });
             }
+            Err(VerbsError::InvalidQpState { .. })
+                if self.proc.config.reliability.max_recoveries > 0
+                    && self.error.get().is_none() =>
+            {
+                // The QP is in the error state (or mid-recovery cycle) under
+                // an earlier failed WR. With recovery enabled, park the post:
+                // the failing WR's completion handler will cycle the QP back
+                // to RTS, and the progress engine's drain will re-post this
+                // one — or, if recovery exhausts, poisoning will retire it.
+                ch.pending
+                    .lock()
+                    .push_back(PendingPost { qp_idx, wr, opts });
+            }
             Err(VerbsError::InvalidQpState {
-                actual: partix_verbs::QpState::Error,
+                actual: QpState::Error,
                 ..
             }) => {
-                // The QP died under an earlier failed WR. No completion will
-                // ever come for this post: poison the request and account the
-                // WR as retired so the round terminates.
-                let _ = self.error.set("queue pair in error state");
+                // Recovery disabled: no completion will ever come for this
+                // post. Poison the request and account the WR as retired so
+                // the round terminates.
                 self.proc.pending_sends.lock().remove(&wr.wr_id);
+                ch.inflight.lock().remove(&wr.wr_id);
                 self.wr_completed.fetch_add(1, Ordering::AcqRel);
+                self.poison(ch, "queue pair in error state");
             }
             Err(e) => panic!("unexpected verbs failure on partitioned post: {e}"),
         }
@@ -411,16 +453,96 @@ impl SendShared {
     /// A send-side work completion arrived.
     pub(crate) fn on_wr_complete(self: &Arc<Self>, wc: WorkCompletion) {
         if wc.status != WcStatus::Success {
+            // The wire layer already exhausted its own retries to produce
+            // this completion; the runtime's last line of defence is QP
+            // recovery (cycle the QP back to RTS and re-post the WR).
+            if self.try_recover(&wc) {
+                return;
+            }
             let msg = match wc.status {
                 WcStatus::RemoteAccessError => "remote access error",
+                WcStatus::RetryExceeded => "transport retries exhausted",
                 WcStatus::RnrRetryExceeded => "receiver not ready",
                 WcStatus::LocalLengthError => "payload exceeded receive space",
                 WcStatus::Success => unreachable!(),
             };
-            let _ = self.error.set(msg);
+            if let Some(ch) = self.channel.get() {
+                let ch = ch.clone();
+                ch.inflight.lock().remove(&wc.wr_id);
+                self.poison(&ch, msg);
+            } else {
+                let _ = self.error.set(msg);
+            }
+        } else if let Some(ch) = self.channel.get() {
+            ch.inflight.lock().remove(&wc.wr_id);
         }
         self.wr_completed.fetch_add(1, Ordering::AcqRel);
         self.maybe_complete();
+    }
+
+    /// Attempt QP recovery for a failed WR: consume one unit of the round's
+    /// recovery budget, cycle the errored QP Error → Reset → Init → RTR →
+    /// RTS, and re-post the WR under a fresh id. Returns `false` when the
+    /// budget is exhausted, recovery is disabled, or the WR cannot be
+    /// re-posted — the caller then poisons the request.
+    ///
+    /// The failed WR is *not* counted as retired here: its re-post inherits
+    /// the original's `wr_posted` slot, so `wr_posted`/`wr_completed` stay
+    /// balanced and the round completes only once the retried transfer
+    /// really finishes.
+    fn try_recover(self: &Arc<Self>, wc: &WorkCompletion) -> bool {
+        let rel = &self.proc.config.reliability;
+        if rel.max_recoveries == 0 || self.error.get().is_some() {
+            return false;
+        }
+        let Some(ch) = self.channel.get().cloned() else {
+            return false;
+        };
+        let Some(post) = ch.inflight.lock().remove(&wc.wr_id) else {
+            return false;
+        };
+        if self.recoveries_round.fetch_add(1, Ordering::AcqRel) >= rel.max_recoveries {
+            // Budget exhausted. Leave the counter saturated; the failure
+            // surfaces through the normal poison path.
+            return false;
+        }
+        self.recoveries_total.fetch_add(1, Ordering::Relaxed);
+        let qp = &ch.qps[post.qp_idx as usize];
+        if qp.state() == QpState::Error && !recover_qp(qp) {
+            return false;
+        }
+        // Re-post byte-identically under a fresh WR id (the old id's
+        // completion was just consumed). In-flight WRs the error flushed to
+        // software pending are re-posted by the progress engine's drain once
+        // the QP is back at RTS.
+        let mut wr = post.wr;
+        wr.wr_id = self.proc.next_wr_id();
+        self.proc
+            .pending_sends
+            .lock()
+            .insert(wr.wr_id, self.clone());
+        self.submit(&ch, post.qp_idx, wr, post.opts);
+        true
+    }
+
+    /// Record a fatal error and retire every software-pending WR of the
+    /// channel: no completion will ever come for them, and the round must
+    /// still terminate (`wr_completed` catches up to `wr_posted`).
+    pub(crate) fn poison(self: &Arc<Self>, ch: &SendChannel, msg: &'static str) {
+        let _ = self.error.set(msg);
+        let stranded: Vec<PendingPost> = ch.pending.lock().drain(..).collect();
+        let retired = stranded.len() as u32;
+        if retired > 0 {
+            let mut sends = self.proc.pending_sends.lock();
+            let mut inflight = ch.inflight.lock();
+            for p in &stranded {
+                sends.remove(&p.wr.wr_id);
+                inflight.remove(&p.wr.wr_id);
+            }
+            drop(inflight);
+            drop(sends);
+            self.wr_completed.fetch_add(retired, Ordering::AcqRel);
+        }
     }
 
     /// Complete the round once every partition was marked ready, every byte
@@ -478,6 +600,22 @@ impl SendShared {
         let new_delta = ((spread as f64 * margin) as u64).max(1_000);
         ch.delta_ns.store(new_delta, Ordering::Release);
     }
+}
+
+/// Cycle an errored QP back to RTS: Error → Reset → Init → RTR → RTS, the
+/// full `ibv_modify_qp` recovery sequence. Transfers already on the wire
+/// are unaffected (their completions still arrive and release their send
+/// slots); WRs stranded by the error state sit in the channel's
+/// software-pending queue until the progress drain re-posts them. Returns
+/// `false` if any transition is rejected.
+fn recover_qp(qp: &Arc<QueuePair>) -> bool {
+    let Some(peer) = qp.peer() else {
+        return false;
+    };
+    qp.modify(QpState::Reset).is_ok()
+        && qp.modify(QpState::Init).is_ok()
+        && qp.modify_to_rtr(peer).is_ok()
+        && qp.modify_to_rts().is_ok()
 }
 
 /// Wire resources of a matched receive request.

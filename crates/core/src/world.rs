@@ -16,7 +16,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::{Mutex, RwLock};
 
 use partix_sim::{Scheduler, SerialResource, SimTime, TimeSource};
-use partix_verbs::{connect_pair, Network, QpCaps, SimFabric};
+use partix_verbs::{connect_pair, Fabric, LossyFabric, Network, QpCaps, SimFabric};
 
 use crate::config::PartixConfig;
 use crate::error::Result;
@@ -84,6 +84,7 @@ pub(crate) struct WorldInner {
     pub network: Network,
     pub sim: Option<Scheduler>,
     pub sim_fabric: Option<Arc<SimFabric>>,
+    pub lossy: Option<Arc<LossyFabric>>,
     pub time: TimeSource,
     pub config: PartixConfig,
     pub match_svc: MatchService,
@@ -100,15 +101,26 @@ pub struct World {
 
 impl World {
     /// Build a simulated world of `ranks` ranks on a fresh virtual clock.
-    /// Returns the scheduler that drives it.
+    /// Returns the scheduler that drives it. When `config.loss` is set, the
+    /// fabric is wrapped in a [`LossyFabric`] with that loss model (seeded
+    /// chaos: drops, duplicates and delays, with timer-based retransmission
+    /// backoff on the virtual clock).
     pub fn sim(ranks: u32, config: PartixConfig) -> (World, Scheduler) {
         let sched = Scheduler::new();
         let fabric = SimFabric::new(sched.clone(), config.fabric);
-        let network = Network::new(ranks, fabric.clone());
+        let lossy = config
+            .loss
+            .map(|cfg| LossyFabric::simulated(fabric.clone(), sched.clone(), cfg));
+        let wire: Arc<dyn Fabric> = match &lossy {
+            Some(l) => l.clone(),
+            None => fabric.clone(),
+        };
+        let network = Network::new(ranks, wire);
         let inner = Arc::new(WorldInner {
             network,
             sim: Some(sched.clone()),
             sim_fabric: Some(fabric),
+            lossy,
             time: TimeSource::simulated(&sched),
             config,
             match_svc: MatchService::default(),
@@ -137,6 +149,7 @@ impl World {
             network,
             sim: None,
             sim_fabric: None,
+            lossy: None,
             time: TimeSource::real(),
             config,
             match_svc: MatchService::default(),
@@ -165,6 +178,12 @@ impl World {
     /// The simulated fabric (sim mode only), for traffic statistics.
     pub fn sim_fabric(&self) -> Option<&Arc<SimFabric>> {
         self.inner.sim_fabric.as_ref()
+    }
+
+    /// The lossy wire decorator, when `config.loss` was set: fault-injection
+    /// statistics (drops, duplicates, retransmissions, exhaustions).
+    pub fn lossy_fabric(&self) -> Option<&Arc<LossyFabric>> {
+        self.inner.lossy.as_ref()
     }
 
     /// Install an event sink (profiler hook).
@@ -254,18 +273,28 @@ fn establish(world: &Arc<WorldInner>, s: Arc<SendShared>, r: Arc<RecvShared>) ->
     );
 
     let plan = plan_for(&world.config, s.partitions, s.part_bytes);
+    // Retry/timeout attributes from the reliability configuration, applied
+    // at QP creation (they take effect at RTR/RTS, like `ibv_modify_qp`).
+    let rel = &world.config.reliability;
+    let base_caps = QpCaps {
+        timeout: rel.timeout,
+        retry_cnt: rel.retry_cnt,
+        rnr_retry: rel.rnr_retry,
+        min_rnr_timer_ns: rel.min_rnr_timer_ns,
+        ..QpCaps::default()
+    };
     let mut send_qps = Vec::with_capacity(plan.qp_count as usize);
     let mut recv_qps = Vec::with_capacity(plan.qp_count as usize);
     for q in 0..plan.qp_count {
         let recv_caps = QpCaps {
             max_recv_wr: plan.max_incoming_wrs(q) + 16,
-            ..QpCaps::default()
+            ..base_caps
         };
         let qa = s.proc.ctx.create_qp(
             s.proc.pd,
             s.proc.send_cq.clone(),
             s.proc.recv_cq.clone(),
-            QpCaps::default(),
+            base_caps,
         )?;
         let qb = r.proc.ctx.create_qp(
             r.proc.pd,
@@ -294,6 +323,7 @@ fn establish(world: &Arc<WorldInner>, s: Arc<SendShared>, r: Arc<RecvShared>) ->
         remote_rkey: r.mr.rkey(),
         groups,
         pending: Mutex::new(std::collections::VecDeque::new()),
+        inflight: Mutex::new(HashMap::new()),
         delta_ns: std::sync::atomic::AtomicU64::new(
             plan.timer_delta.map(|d| d.as_nanos()).unwrap_or(0),
         ),

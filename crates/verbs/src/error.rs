@@ -122,3 +122,82 @@ impl std::error::Error for VerbsError {}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, VerbsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    /// One instance of every variant, paired with a substring its `Display`
+    /// output must carry (so diagnostics never degenerate into `Debug`
+    /// dumps or lose the offending values).
+    fn all_variants() -> Vec<(VerbsError, &'static str)> {
+        vec![
+            (
+                VerbsError::InvalidQpState {
+                    actual: QpState::Reset,
+                    required: QpState::ReadyToSend,
+                },
+                "QP in state Reset",
+            ),
+            (
+                VerbsError::InvalidTransition {
+                    from: QpState::Init,
+                    to: QpState::ReadyToSend,
+                },
+                "illegal QP transition Init -> ReadyToSend",
+            ),
+            (
+                VerbsError::SendQueueFull {
+                    max_outstanding: 16,
+                },
+                "send queue full (16",
+            ),
+            (VerbsError::RecvQueueFull, "receive queue full"),
+            (VerbsError::InvalidLKey { lkey: 0xBEEF }, "0xbeef"),
+            (
+                VerbsError::OutOfBounds {
+                    key: 0x10,
+                    addr: 0x40,
+                    len: 128,
+                    region_len: 64,
+                },
+                "out of bounds",
+            ),
+            (VerbsError::EmptySgList, "no scatter/gather"),
+            (VerbsError::TooManySges { got: 5, max: 4 }, "5 scatter"),
+            (
+                VerbsError::InlineTooLarge { got: 512, max: 220 },
+                "512 bytes exceeds max_inline_data 220",
+            ),
+            (VerbsError::PeerNotSet, "not connected"),
+            (VerbsError::BadOpcode, "opcode invalid"),
+            (
+                VerbsError::ProtectionDomainMismatch,
+                "different protection domain",
+            ),
+            (VerbsError::UnknownNode(3), "unknown node 3"),
+            (VerbsError::UnknownQp(9), "unknown QP number 9"),
+        ]
+    }
+
+    #[test]
+    fn display_carries_the_diagnostic_for_every_variant() {
+        for (err, needle) in all_variants() {
+            let text = err.to_string();
+            assert!(
+                text.contains(needle),
+                "{err:?}: display {text:?} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn verbs_errors_are_leaf_errors() {
+        // The verbs layer is the bottom of the stack: no variant wraps a
+        // deeper cause.
+        for (err, _) in all_variants() {
+            assert!(err.source().is_none(), "{err:?} should have no source");
+        }
+    }
+}

@@ -47,7 +47,9 @@ pub struct PostOptions {
     pub small_lane: bool,
 }
 
-/// Everything the fabric needs to carry out one posted send WR.
+/// Everything the fabric needs to carry out one posted send WR. Cloneable
+/// so reliability decorators can retransmit or duplicate a transfer.
+#[derive(Clone)]
 pub struct TransferJob {
     /// Originating node.
     pub src_node: NodeId,
@@ -74,6 +76,14 @@ pub struct TransferJob {
     /// Payload snapshot taken at post time for inline sends (`None` for
     /// ordinary gather-at-delivery transfers).
     pub inline_payload: Option<Vec<u8>>,
+    /// Packet sequence number assigned by the source QP at post time.
+    /// Retransmissions and injected duplicates of the same WR share one
+    /// PSN, which is what lets the destination suppress re-deliveries.
+    pub psn: u64,
+    /// A spurious wire-level duplicate injected by a lossy decorator: it may
+    /// deliver payload (subject to the PSN check) but must never produce a
+    /// send-side completion or touch the sender's outstanding-WR slot.
+    pub ghost: bool,
     /// Software-path timing options.
     pub opts: PostOptions,
 }
@@ -101,6 +111,11 @@ pub enum DeliveryOutcome {
     ReceiverNotReady,
     /// A two-sided payload did not fit the receive WR's scatter space.
     PayloadTooLarge,
+    /// The destination had already applied this `(src_qp, psn)`: a
+    /// retransmission or injected duplicate arrived after the original
+    /// landed. Nothing was consumed or written; the sender still sees
+    /// success (the data *is* there).
+    Duplicate,
 }
 
 /// Execute the destination-side effects of `job`: validate the remote
@@ -123,13 +138,21 @@ pub fn execute_delivery_ext(
     let Ok(dst_node) = net.node(job.dst_node) else {
         return DeliveryOutcome::RemoteAccessError;
     };
+    let Ok(dst_qp) = dst_node.qp(job.dst_qp) else {
+        return DeliveryOutcome::RemoteAccessError;
+    };
+    // PSN suppression: a retransmission or duplicate of an already-applied
+    // transfer is dropped *before* it can consume a receive WR or write
+    // memory, turning at-least-once wire behaviour into exactly-once at the
+    // memory region. The PSN is recorded only on successful delivery, so an
+    // RNR-deferred attempt is never mistaken for a duplicate.
+    if dst_qp.psn_seen(job.src_qp, job.psn) {
+        return DeliveryOutcome::Duplicate;
+    }
     let two_sided = matches!(job.opcode, Opcode::Send | Opcode::SendWithImm);
 
     if two_sided {
         // Two-sided: the receive WR *is* the destination.
-        let Ok(dst_qp) = dst_node.qp(job.dst_qp) else {
-            return DeliveryOutcome::RemoteAccessError;
-        };
         let Some(recv_wr) = dst_qp.take_recv() else {
             return DeliveryOutcome::ReceiverNotReady;
         };
@@ -163,6 +186,7 @@ pub fn execute_delivery_ext(
                 }
             }
         }
+        dst_qp.mark_psn(job.src_qp, job.psn);
         dst_qp.recv_cq().push(WorkCompletion {
             wr_id: recv_wr.wr_id,
             status: WcStatus::Success,
@@ -186,11 +210,8 @@ pub fn execute_delivery_ext(
         return DeliveryOutcome::RemoteAccessError;
     };
     let recv_slot = if job.opcode == Opcode::RdmaWriteWithImm {
-        let Ok(dst_qp) = dst_node.qp(job.dst_qp) else {
-            return DeliveryOutcome::RemoteAccessError;
-        };
         match dst_qp.take_recv() {
-            Some(r) => Some((dst_qp, r)),
+            Some(r) => Some(r),
             None => return DeliveryOutcome::ReceiverNotReady,
         }
     } else {
@@ -217,7 +238,8 @@ pub fn execute_delivery_ext(
         let _ = (dst_mr, base_off);
     }
 
-    if let Some((dst_qp, recv_wr)) = recv_slot {
+    dst_qp.mark_psn(job.src_qp, job.psn);
+    if let Some(recv_wr) = recv_slot {
         dst_qp.recv_cq().push(WorkCompletion {
             wr_id: recv_wr.wr_id,
             status: WcStatus::Success,
@@ -236,6 +258,11 @@ pub fn execute_delivery_ext(
 /// outstanding-WR slot; drives the source QP to the error state on failure
 /// (as real hardware does).
 pub fn complete_send(net: &Arc<NetworkState>, job: &TransferJob, status: WcStatus) {
+    if job.ghost {
+        // Injected duplicates never completed at the sender in the first
+        // place: no CQE, no slot release, no error state.
+        return;
+    }
     let Ok(src_node) = net.node(job.src_node) else {
         return;
     };
@@ -260,10 +287,25 @@ pub fn complete_send(net: &Arc<NetworkState>, job: &TransferJob, status: WcStatu
     });
 }
 
+/// The retry/timeout attributes of the QP that posted `job`, for fabrics
+/// and reliability decorators deciding how often to retry and how long to
+/// back off. `None` if the source QP no longer resolves.
+pub fn sender_retry_profile(
+    net: &Arc<NetworkState>,
+    job: &TransferJob,
+) -> Option<crate::qp::RetryProfile> {
+    let node = net.node(job.src_node).ok()?;
+    let qp = node.qp(job.src_qp).ok()?;
+    Some(qp.retry_profile())
+}
+
 /// Map a delivery outcome to the send-side completion status.
 pub fn outcome_status(outcome: &DeliveryOutcome) -> WcStatus {
     match outcome {
         DeliveryOutcome::Delivered { .. } => WcStatus::Success,
+        // The payload of this PSN already landed via an earlier attempt, so
+        // from the WR's point of view the transfer succeeded.
+        DeliveryOutcome::Duplicate => WcStatus::Success,
         DeliveryOutcome::RemoteAccessError => WcStatus::RemoteAccessError,
         DeliveryOutcome::ReceiverNotReady => WcStatus::RnrRetryExceeded,
         DeliveryOutcome::PayloadTooLarge => WcStatus::LocalLengthError,

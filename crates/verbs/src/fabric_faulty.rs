@@ -6,10 +6,15 @@
 //! states, `wait` returning `TransferFailed`) — paths that never fire on a
 //! healthy fabric.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use partix_sim::split_seed;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::fabric::{complete_send, Fabric, TransferJob};
 use crate::network::NetworkState;
@@ -22,14 +27,51 @@ pub enum FaultPlan {
     EveryNth(u64),
     /// Fail the transfers whose (0-based) submission index is in the list.
     Indices(Vec<u64>),
+    /// Fail each transfer independently with probability `p_fail`. The
+    /// decision for submission index `i` is a pure function of `(seed, i)`,
+    /// so a given seed always fails the same indices regardless of thread
+    /// interleaving.
+    Bernoulli {
+        /// Per-transfer failure probability, in `[0, 1]`.
+        p_fail: f64,
+        /// Seed for the per-index decision stream.
+        seed: u64,
+    },
     /// Fail nothing (pass-through).
     None,
+}
+
+/// [`FaultPlan`] pre-compiled for the submit path: the `Indices` list
+/// becomes a hash set so the per-transfer check is O(1) instead of a linear
+/// scan under the plan lock.
+enum CompiledPlan {
+    EveryNth(u64),
+    Indices(HashSet<u64>),
+    Bernoulli { p_fail: f64, seed: u64 },
+    None,
+}
+
+impl CompiledPlan {
+    fn compile(plan: FaultPlan) -> Self {
+        match plan {
+            FaultPlan::EveryNth(n) => CompiledPlan::EveryNth(n),
+            FaultPlan::Indices(v) => CompiledPlan::Indices(v.into_iter().collect()),
+            FaultPlan::Bernoulli { p_fail, seed } => {
+                assert!(
+                    (0.0..=1.0).contains(&p_fail),
+                    "p_fail must be within [0, 1]"
+                );
+                CompiledPlan::Bernoulli { p_fail, seed }
+            }
+            FaultPlan::None => CompiledPlan::None,
+        }
+    }
 }
 
 /// A fabric decorator that injects failures.
 pub struct FaultyFabric {
     inner: Arc<dyn Fabric>,
-    plan: Mutex<FaultPlan>,
+    plan: Mutex<CompiledPlan>,
     status: WcStatus,
     submitted: AtomicU64,
     injected: AtomicU64,
@@ -41,7 +83,7 @@ impl FaultyFabric {
         assert_ne!(status, WcStatus::Success, "inject a failure status");
         Arc::new(FaultyFabric {
             inner,
-            plan: Mutex::new(plan),
+            plan: Mutex::new(CompiledPlan::compile(plan)),
             status,
             submitted: AtomicU64::new(0),
             injected: AtomicU64::new(0),
@@ -50,7 +92,7 @@ impl FaultyFabric {
 
     /// Replace the fault plan.
     pub fn set_plan(&self, plan: FaultPlan) {
-        *self.plan.lock() = plan;
+        *self.plan.lock() = CompiledPlan::compile(plan);
     }
 
     /// Number of failures injected so far.
@@ -65,9 +107,15 @@ impl FaultyFabric {
 
     fn should_fail(&self, index: u64) -> bool {
         match &*self.plan.lock() {
-            FaultPlan::EveryNth(n) => *n > 0 && (index + 1) % *n == 0,
-            FaultPlan::Indices(v) => v.contains(&index),
-            FaultPlan::None => false,
+            CompiledPlan::EveryNth(n) => *n > 0 && (index + 1) % *n == 0,
+            CompiledPlan::Indices(set) => set.contains(&index),
+            CompiledPlan::Bernoulli { p_fail, seed } => {
+                // Stateless per-index draw: derive an independent stream for
+                // this submission index and take its first sample.
+                let mut rng = StdRng::seed_from_u64(split_seed(*seed, "fault", index));
+                rng.random::<f64>() < *p_fail
+            }
+            CompiledPlan::None => false,
         }
     }
 }
@@ -158,5 +206,38 @@ mod tests {
         assert!(!faulty.should_fail(2));
         assert!(faulty.should_fail(3));
         assert!(faulty.should_fail(5));
+    }
+
+    #[test]
+    fn bernoulli_plan_is_deterministic_per_index() {
+        let (_net, faulty) = setup(FaultPlan::Bernoulli {
+            p_fail: 0.3,
+            seed: 42,
+        });
+        let first: Vec<bool> = (0..256).map(|i| faulty.should_fail(i)).collect();
+        // Same (seed, index) always yields the same decision.
+        let second: Vec<bool> = (0..256).map(|i| faulty.should_fail(i)).collect();
+        assert_eq!(first, second);
+        // Roughly p_fail of indices fail (256 draws at p=0.3: wide margin).
+        let fails = first.iter().filter(|&&f| f).count();
+        assert!((30..=130).contains(&fails), "got {fails} failures");
+        // A different seed yields a different pattern.
+        faulty.set_plan(FaultPlan::Bernoulli {
+            p_fail: 0.3,
+            seed: 43,
+        });
+        let other: Vec<bool> = (0..256).map(|i| faulty.should_fail(i)).collect();
+        assert_ne!(first, other);
+        // Degenerate probabilities behave as constants.
+        faulty.set_plan(FaultPlan::Bernoulli {
+            p_fail: 0.0,
+            seed: 1,
+        });
+        assert!((0..64).all(|i| !faulty.should_fail(i)));
+        faulty.set_plan(FaultPlan::Bernoulli {
+            p_fail: 1.0,
+            seed: 1,
+        });
+        assert!((0..64).all(|i| faulty.should_fail(i)));
     }
 }

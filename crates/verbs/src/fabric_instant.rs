@@ -8,7 +8,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::fabric::{complete_send, execute_delivery, outcome_status, Fabric, TransferJob};
+use crate::fabric::{
+    complete_send, execute_delivery, outcome_status, sender_retry_profile, DeliveryOutcome, Fabric,
+    TransferJob,
+};
 use crate::network::NetworkState;
 
 /// Fabric that applies every transfer immediately.
@@ -37,10 +40,24 @@ impl InstantFabric {
 
 impl Fabric for InstantFabric {
     fn submit(&self, net: &Arc<NetworkState>, job: TransferJob) {
-        let outcome = execute_delivery(net, &job);
         self.transfers.fetch_add(1, Ordering::Relaxed);
         self.bytes
             .fetch_add(job.total_len as u64, Ordering::Relaxed);
+        // Receiver-not-ready triggers the QP's bounded RNR retry loop: with
+        // real threads the receiver may be about to post its WR, so each
+        // attempt yields the CPU first (the zero-latency analogue of waiting
+        // out the RNR NAK timer).
+        let rnr_budget = sender_retry_profile(net, &job).map_or(0, |p| p.rnr_retry);
+        let mut attempt = 0u8;
+        let outcome = loop {
+            let outcome = execute_delivery(net, &job);
+            if matches!(outcome, DeliveryOutcome::ReceiverNotReady) && attempt < rnr_budget {
+                attempt += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            break outcome;
+        };
         complete_send(net, &job, outcome_status(&outcome));
     }
 }

@@ -1,0 +1,420 @@
+//! The lossy fabric: seeded, deterministic wire-level chaos.
+//!
+//! [`LossyFabric`] wraps any inner fabric and, per transfer, may **drop**
+//! it (triggering the sender-side retransmission machinery), **duplicate**
+//! it (an extra ghost delivery the destination's PSN check must suppress),
+//! or **delay** it (extra one-way wire latency). All decisions come from a
+//! single seeded RNG, so a simulated run is bit-reproducible from
+//! `(seed, config)` alone.
+//!
+//! Retransmission follows the IB RC model: a dropped transfer is re-offered
+//! to the wire after the source QP's ack timeout (`4.096 us x 2^timeout`),
+//! doubling per attempt, up to `retry_cnt` attempts; only exhaustion
+//! surfaces `RetryExceeded` at the sender's CQ. Because retransmissions
+//! share the original PSN, a late original plus a successful retry still
+//! lands exactly once at the memory region.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use partix_sim::{Scheduler, SimDuration};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::fabric::{complete_send, sender_retry_profile, Fabric, TransferJob};
+use crate::network::NetworkState;
+use crate::types::WcStatus;
+
+/// Loss model of a [`LossyFabric`]. All probabilities are per wire attempt
+/// (a retransmission re-rolls the dice).
+#[derive(Clone, Copy, Debug)]
+pub struct LossyConfig {
+    /// Probability a transfer is dropped by the wire.
+    pub drop_p: f64,
+    /// Probability a transfer is duplicated (original + one ghost copy).
+    pub dup_p: f64,
+    /// Probability a transfer is delayed by extra wire latency.
+    pub delay_p: f64,
+    /// Maximum extra latency for delayed transfers (uniform in `[0, max)`),
+    /// nanoseconds.
+    pub max_delay_ns: u64,
+    /// RNG seed; same seed + same config = same fault pattern.
+    pub seed: u64,
+}
+
+impl Default for LossyConfig {
+    fn default() -> Self {
+        LossyConfig {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            max_delay_ns: 2_000,
+            seed: 0x10_55,
+        }
+    }
+}
+
+impl LossyConfig {
+    /// A drop-only configuration at rate `p`.
+    pub fn drops(p: f64, seed: u64) -> Self {
+        LossyConfig {
+            drop_p: p,
+            seed,
+            ..LossyConfig::default()
+        }
+    }
+
+    /// Drops, duplicates and delays all enabled — the chaos-suite default.
+    pub fn chaos(drop_p: f64, seed: u64) -> Self {
+        LossyConfig {
+            drop_p,
+            dup_p: drop_p / 2.0,
+            delay_p: 0.2,
+            max_delay_ns: 2_000,
+            seed,
+        }
+    }
+}
+
+#[derive(Default)]
+struct LossyStats {
+    attempts: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    retransmits: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// A fabric decorator that drops, duplicates and delays transfers per a
+/// seeded loss model, and retransmits dropped transfers with exponential
+/// backoff per the source QP's [`RetryProfile`](crate::RetryProfile).
+pub struct LossyFabric {
+    inner: Arc<dyn Fabric>,
+    /// Scheduler for timer-based backoff. `None` = instant mode: dropped
+    /// transfers are retried immediately (zero-latency retransmission).
+    sched: Option<Scheduler>,
+    cfg: LossyConfig,
+    rng: Mutex<StdRng>,
+    stats: LossyStats,
+    /// Self-handle for timer closures (retransmissions re-enter `attempt`).
+    me: Weak<LossyFabric>,
+}
+
+impl LossyFabric {
+    /// Wrap `inner` for instant-mode use: retransmissions happen
+    /// synchronously inside `submit`, without backoff delays. Note that
+    /// with real threads the draw *order* depends on thread interleaving;
+    /// only simulated mode is bit-deterministic.
+    pub fn new(inner: Arc<dyn Fabric>, cfg: LossyConfig) -> Arc<Self> {
+        Self::build(inner, None, cfg)
+    }
+
+    /// Wrap `inner` for simulated mode: retransmissions wait out the ack
+    /// timeout on `sched`'s virtual clock. Deterministic: the event loop is
+    /// single-threaded, so the RNG draw order is a pure function of the
+    /// seed and the workload.
+    pub fn simulated(inner: Arc<dyn Fabric>, sched: Scheduler, cfg: LossyConfig) -> Arc<Self> {
+        Self::build(inner, Some(sched), cfg)
+    }
+
+    fn build(inner: Arc<dyn Fabric>, sched: Option<Scheduler>, cfg: LossyConfig) -> Arc<Self> {
+        assert!(
+            (0.0..=1.0).contains(&cfg.drop_p)
+                && (0.0..=1.0).contains(&cfg.dup_p)
+                && (0.0..=1.0).contains(&cfg.delay_p),
+            "loss probabilities must be within [0, 1]"
+        );
+        Arc::new_cyclic(|me| LossyFabric {
+            inner,
+            sched,
+            cfg,
+            rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+            stats: LossyStats::default(),
+            me: me.clone(),
+        })
+    }
+
+    /// The loss model in force.
+    pub fn config(&self) -> LossyConfig {
+        self.cfg
+    }
+
+    /// Wire attempts seen (originals + retransmissions + ghosts).
+    pub fn attempts(&self) -> u64 {
+        self.stats.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Transfers the wire dropped.
+    pub fn dropped(&self) -> u64 {
+        self.stats.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Ghost duplicates injected.
+    pub fn duplicated(&self) -> u64 {
+        self.stats.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Transfers delayed by extra wire latency.
+    pub fn delayed(&self) -> u64 {
+        self.stats.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Retransmissions performed after drops.
+    pub fn retransmits(&self) -> u64 {
+        self.stats.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Transfers that exhausted `retry_cnt` and surfaced `RetryExceeded`.
+    pub fn exhausted(&self) -> u64 {
+        self.stats.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// One wire attempt for `job` (attempt number `tries`, 0-based).
+    fn attempt(&self, net: &Arc<NetworkState>, mut job: TransferJob, tries: u8) {
+        self.stats.attempts.fetch_add(1, Ordering::Relaxed);
+        // Draw all three decisions up front so the consumed randomness per
+        // attempt is fixed regardless of which branches fire.
+        let (drop_roll, dup_roll, delay_roll) = {
+            let mut rng = self.rng.lock();
+            let d: f64 = rng.random();
+            let u: f64 = rng.random();
+            let y: f64 = rng.random();
+            (d, u, y)
+        };
+
+        // Duplicate: the wire delivers an extra ghost copy alongside the
+        // original. The ghost shares the original's PSN, so at most one of
+        // the two writes memory; the ghost never completes at the sender.
+        if !job.ghost && dup_roll < self.cfg.dup_p {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            let mut ghost = job.clone();
+            ghost.ghost = true;
+            self.inner.submit(net, ghost);
+        }
+
+        if drop_roll < self.cfg.drop_p {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            if job.ghost {
+                return; // a lost duplicate is simply gone
+            }
+            let retry_cnt = sender_retry_profile(net, &job).map_or(0, |p| p.retry_cnt);
+            if tries >= retry_cnt {
+                // Retries exhausted: only now does the failure surface.
+                self.stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                complete_send(net, &job, WcStatus::RetryExceeded);
+                return;
+            }
+            self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+            match &self.sched {
+                Some(sched) => {
+                    // Sender-side timeout retransmission: the drop is
+                    // noticed one ack-timeout after the post, doubling per
+                    // attempt (exponential backoff).
+                    let backoff =
+                        sender_retry_profile(net, &job).map_or(4_096, |p| p.backoff_ns(tries));
+                    let me = self.me.clone();
+                    let net = net.clone();
+                    sched.after(SimDuration::from_nanos(backoff), move || {
+                        if let Some(me) = me.upgrade() {
+                            me.attempt(&net, job, tries + 1);
+                        }
+                    });
+                }
+                None => self.attempt(net, job, tries + 1),
+            }
+            return;
+        }
+
+        if delay_roll < self.cfg.delay_p && self.cfg.max_delay_ns > 0 {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            let extra = self.rng.lock().random_range(0..self.cfg.max_delay_ns);
+            job.opts.extra_wire_latency += SimDuration::from_nanos(extra);
+        }
+        self.inner.submit(net, job);
+    }
+}
+
+impl Fabric for LossyFabric {
+    fn submit(&self, net: &Arc<NetworkState>, job: TransferJob) {
+        self.attempt(net, job, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric_instant::InstantFabric;
+    use crate::network::{connect_pair, Network};
+    use crate::qp::QpCaps;
+    use crate::types::{Opcode, QpState, RecvWr, SendWr, Sge};
+
+    struct Pair {
+        net: Network,
+        lossy: Arc<LossyFabric>,
+    }
+
+    /// Two connected nodes over an instant fabric wrapped by `cfg`.
+    fn setup(cfg: LossyConfig, caps: QpCaps) -> (Pair, TestEndpoints) {
+        let lossy = LossyFabric::new(InstantFabric::new(), cfg);
+        let net = Network::new(2, lossy.clone());
+        let a = net.open(0).unwrap();
+        let b = net.open(1).unwrap();
+        let (pda, pdb) = (a.alloc_pd(), b.alloc_pd());
+        let (cqa, cqb) = (a.create_cq(), b.create_cq());
+        let qa = a.create_qp(pda, cqa.clone(), a.create_cq(), caps).unwrap();
+        let qb = b.create_qp(pdb, b.create_cq(), cqb.clone(), caps).unwrap();
+        connect_pair(&qa, &qb).unwrap();
+        let src = a.reg_mr(pda, 64).unwrap();
+        let dst = b.reg_mr(pdb, 64).unwrap();
+        src.fill(0, 64, 0x5a).unwrap();
+        (
+            Pair { net, lossy },
+            TestEndpoints {
+                qa,
+                qb,
+                cqa,
+                cqb,
+                src,
+                dst,
+            },
+        )
+    }
+
+    struct TestEndpoints {
+        qa: Arc<crate::qp::QueuePair>,
+        qb: Arc<crate::qp::QueuePair>,
+        cqa: Arc<crate::cq::CompletionQueue>,
+        cqb: Arc<crate::cq::CompletionQueue>,
+        src: crate::memory::MemoryRegion,
+        dst: crate::memory::MemoryRegion,
+    }
+
+    impl TestEndpoints {
+        fn write_imm(&self, wr_id: u64) {
+            self.qa
+                .post_send(SendWr {
+                    wr_id,
+                    opcode: Opcode::RdmaWriteWithImm,
+                    sg_list: vec![Sge {
+                        addr: self.src.addr(),
+                        length: 64,
+                        lkey: self.src.lkey(),
+                    }],
+                    remote_addr: self.dst.addr(),
+                    rkey: self.dst.rkey(),
+                    imm: Some(0),
+                    inline_data: false,
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicates_deliver_exactly_once() {
+        // Every transfer is duplicated; the PSN check must collapse the two
+        // wire copies to one delivery and one receive completion.
+        let cfg = LossyConfig {
+            dup_p: 1.0,
+            ..LossyConfig::default()
+        };
+        let (pair, ep) = setup(cfg, QpCaps::default());
+        for i in 0..8 {
+            ep.qb.post_recv(RecvWr::bare(i)).unwrap();
+        }
+        for i in 0..8 {
+            ep.write_imm(i);
+            let wc = ep.cqa.poll_one().unwrap();
+            assert_eq!(wc.status, WcStatus::Success);
+        }
+        assert_eq!(pair.lossy.duplicated(), 8);
+        // Exactly one receive CQE and one recv-WR consumed per logical send.
+        assert_eq!(ep.cqb.total_pushed(), 8);
+        assert_eq!(ep.qb.recv_queue_depth(), 0);
+        assert_eq!(ep.dst.read_vec(0, 64).unwrap(), vec![0x5a; 64]);
+        assert_eq!(ep.qa.outstanding(), 0);
+        drop(pair.net);
+    }
+
+    #[test]
+    fn drops_are_retransmitted_transparently() {
+        // Half the wire attempts drop; with retry_cnt = 7 every WR still
+        // completes successfully and the receiver sees each payload once.
+        let cfg = LossyConfig::drops(0.5, 7);
+        let (pair, ep) = setup(cfg, QpCaps::default());
+        for i in 0..16 {
+            ep.qb.post_recv(RecvWr::bare(i)).unwrap();
+        }
+        for i in 0..16 {
+            ep.write_imm(i);
+            let wc = ep.cqa.poll_one().unwrap();
+            assert_eq!(wc.status, WcStatus::Success, "wr {i}");
+        }
+        assert!(pair.lossy.dropped() > 0, "loss model never fired");
+        assert_eq!(pair.lossy.retransmits(), pair.lossy.dropped());
+        assert_eq!(pair.lossy.exhausted(), 0);
+        assert_eq!(ep.cqb.total_pushed(), 16);
+        assert_eq!(ep.qa.state(), QpState::ReadyToSend);
+    }
+
+    #[test]
+    fn zero_retries_surface_first_loss() {
+        // retry_cnt = 0 restores the legacy no-reliability behaviour: the
+        // first drop turns straight into RetryExceeded and an Error QP.
+        let cfg = LossyConfig::drops(1.0, 3);
+        let caps = QpCaps {
+            retry_cnt: 0,
+            ..QpCaps::default()
+        };
+        let (pair, ep) = setup(cfg, caps);
+        ep.qb.post_recv(RecvWr::bare(0)).unwrap();
+        ep.write_imm(0);
+        let wc = ep.cqa.poll_one().unwrap();
+        assert_eq!(wc.status, WcStatus::RetryExceeded);
+        assert_eq!(ep.qa.state(), QpState::Error);
+        assert_eq!(pair.lossy.exhausted(), 1);
+        assert_eq!(pair.lossy.retransmits(), 0);
+        assert_eq!(ep.cqb.total_pushed(), 0);
+        assert_eq!(ep.dst.read_vec(0, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        // The fault sequence is a pure function of (seed, config, workload).
+        let run = |seed: u64| {
+            let cfg = LossyConfig::chaos(0.3, seed);
+            let (pair, ep) = setup(cfg, QpCaps::default());
+            for i in 0..32 {
+                ep.qb.post_recv(RecvWr::bare(i)).unwrap();
+            }
+            for i in 0..32 {
+                ep.write_imm(i);
+                assert_eq!(ep.cqa.poll_one().unwrap().status, WcStatus::Success);
+            }
+            (
+                pair.lossy.attempts(),
+                pair.lossy.dropped(),
+                pair.lossy.duplicated(),
+                pair.lossy.delayed(),
+                pair.lossy.retransmits(),
+            )
+        };
+        let first = run(11);
+        assert_eq!(first, run(11));
+        assert_ne!(first, run(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn rejects_out_of_range_probability() {
+        let _ = LossyFabric::new(
+            InstantFabric::new(),
+            LossyConfig {
+                drop_p: 1.5,
+                ..LossyConfig::default()
+            },
+        );
+    }
+}

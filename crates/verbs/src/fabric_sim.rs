@@ -27,7 +27,10 @@ use parking_lot::Mutex;
 use partix_model::LogGpParams;
 use partix_sim::{Scheduler, SerialResource, SimDuration};
 
-use crate::fabric::{complete_send, execute_delivery_ext, outcome_status, Fabric, TransferJob};
+use crate::fabric::{
+    complete_send, execute_delivery_ext, outcome_status, sender_retry_profile, DeliveryOutcome,
+    Fabric, TransferJob,
+};
 use crate::network::NetworkState;
 use crate::types::NodeId;
 
@@ -234,19 +237,62 @@ impl Fabric for SimFabric {
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
 
         // Delivery event: move the data, push the receive completion, then
-        // schedule the send-side ack.
+        // schedule the send-side ack. Receiver-not-ready re-arms the
+        // delivery after the RNR timer instead of failing outright.
         let net = net.clone();
         let sched = self.sched.clone();
         let copy_data = p.copy_data;
+        let ack_latency = SimDuration::from_nanos_f64(p.loggp.l);
         self.sched.at(recv_visible, move || {
-            let outcome = execute_delivery_ext(&net, &job, copy_data);
-            let status = outcome_status(&outcome);
-            let at = ack.max(sched.now());
-            sched.at(at, move || {
-                complete_send(&net, &job, status);
-            });
+            deliver_with_rnr_retry(&sched, &net, job, copy_data, ack, ack_latency, 0);
         });
     }
+}
+
+/// Execute a delivery on the virtual clock, waiting out the RNR NAK timer
+/// and re-attempting up to the sender's `rnr_retry` budget before the
+/// `RnrRetryExceeded` completion is allowed to surface. `ack_at` is the
+/// absolute time the send-side ack of *this* attempt becomes visible; a
+/// re-attempt pays a fresh ack latency from its own delivery time.
+fn deliver_with_rnr_retry(
+    sched: &Scheduler,
+    net: &Arc<NetworkState>,
+    job: TransferJob,
+    copy_data: bool,
+    ack_at: partix_sim::SimTime,
+    ack_latency: SimDuration,
+    attempt: u8,
+) {
+    let outcome = execute_delivery_ext(net, &job, copy_data);
+    if matches!(outcome, DeliveryOutcome::ReceiverNotReady) {
+        if let Some(profile) = sender_retry_profile(net, &job) {
+            if attempt < profile.rnr_retry {
+                let wait = SimDuration::from_nanos(profile.min_rnr_timer_ns.max(1));
+                let sched2 = sched.clone();
+                let net2 = net.clone();
+                sched.after(wait, move || {
+                    let ack_at = sched2.now() + ack_latency;
+                    let sched3 = sched2.clone();
+                    deliver_with_rnr_retry(
+                        &sched3,
+                        &net2,
+                        job,
+                        copy_data,
+                        ack_at,
+                        ack_latency,
+                        attempt + 1,
+                    );
+                });
+                return;
+            }
+        }
+    }
+    let status = outcome_status(&outcome);
+    let at = ack_at.max(sched.now());
+    let net = net.clone();
+    sched.at(at, move || {
+        complete_send(&net, &job, status);
+    });
 }
 
 #[cfg(test)]

@@ -61,6 +61,7 @@ mod error;
 mod fabric;
 mod fabric_faulty;
 mod fabric_instant;
+mod fabric_lossy;
 mod fabric_sim;
 mod memory;
 mod network;
@@ -70,15 +71,16 @@ mod types;
 pub use cq::CompletionQueue;
 pub use error::{Result, VerbsError};
 pub use fabric::{
-    complete_send, execute_delivery, execute_delivery_ext, outcome_status, DeliveryOutcome, Fabric,
-    PostOptions, ResolvedSegment, TransferJob,
+    complete_send, execute_delivery, execute_delivery_ext, outcome_status, sender_retry_profile,
+    DeliveryOutcome, Fabric, PostOptions, ResolvedSegment, TransferJob,
 };
 pub use fabric_faulty::{FaultPlan, FaultyFabric};
 pub use fabric_instant::InstantFabric;
+pub use fabric_lossy::{LossyConfig, LossyFabric};
 pub use fabric_sim::{FabricParams, ResourceUtilization, SimFabric};
 pub use memory::MemoryRegion;
 pub use network::{connect_pair, Context, Network, NetworkState, NodeCtx, ProtectionDomain};
-pub use qp::{PeerId, QpCaps, QueuePair};
+pub use qp::{PeerId, QpCaps, QueuePair, RetryProfile};
 pub use types::{
     imm, NodeId, Opcode, QpState, RecvWr, SendWr, Sge, WcOpcode, WcStatus, WorkCompletion,
 };

@@ -28,6 +28,19 @@ pub struct QpCaps {
     pub max_sge: usize,
     /// Maximum inline payload (bytes); ConnectX-class defaults to ~220.
     pub max_inline_data: u32,
+    /// Local ack timeout exponent, IB-style: the retransmission timer is
+    /// `4.096 us x 2^timeout`. Real deployments typically run 14 (~67 ms);
+    /// the simulated fabric defaults to 5 (~131 us) so retransmissions are
+    /// visible at micro-benchmark time scales.
+    pub timeout: u8,
+    /// Transport retries before `RetryExceeded` surfaces (`retry_cnt`).
+    pub retry_cnt: u8,
+    /// Receiver-not-ready retries before `RnrRetryExceeded` surfaces
+    /// (`rnr_retry`; the IB value 7 means "infinite", which we cap).
+    pub rnr_retry: u8,
+    /// RNR NAK back-off interval in nanoseconds (the `min_rnr_timer`
+    /// analogue, expressed directly in time rather than the IB 5-bit code).
+    pub min_rnr_timer_ns: u64,
 }
 
 impl Default for QpCaps {
@@ -37,7 +50,52 @@ impl Default for QpCaps {
             max_recv_wr: 4096,
             max_sge: 16,
             max_inline_data: 220,
+            timeout: 5,
+            retry_cnt: 7,
+            rnr_retry: 7,
+            min_rnr_timer_ns: 10_000,
         }
+    }
+}
+
+/// Retry/timeout attributes in force on a connected QP — the subset of
+/// `ibv_modify_qp` attributes set at RTR/RTS (`timeout`, `retry_cnt`,
+/// `rnr_retry`, `min_rnr_timer`). Seeded from [`QpCaps`] at connection time
+/// and overridable via [`QueuePair::modify_to_rts_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryProfile {
+    /// Ack-timeout exponent (base interval `4.096 us x 2^timeout`).
+    pub timeout: u8,
+    /// Transport retries before the WR fails with `RetryExceeded`.
+    pub retry_cnt: u8,
+    /// RNR retries before the WR fails with `RnrRetryExceeded`.
+    pub rnr_retry: u8,
+    /// RNR back-off interval (ns).
+    pub min_rnr_timer_ns: u64,
+}
+
+impl RetryProfile {
+    fn from_caps(caps: &QpCaps) -> Self {
+        RetryProfile {
+            timeout: caps.timeout,
+            retry_cnt: caps.retry_cnt,
+            rnr_retry: caps.rnr_retry,
+            min_rnr_timer_ns: caps.min_rnr_timer_ns,
+        }
+    }
+
+    /// Base ack-timeout interval: `4.096 us x 2^timeout`, as in the IB spec
+    /// (C9-140). `timeout = 0` means "no timer" in the spec; we clamp it to
+    /// the base tick so a zero exponent still produces a finite timer.
+    pub fn ack_timeout_ns(&self) -> u64 {
+        4_096u64 << self.timeout.min(31)
+    }
+
+    /// Retransmission back-off for attempt `n` (0-based): the ack timeout
+    /// doubled per attempt, capped so the shift cannot overflow.
+    pub fn backoff_ns(&self, attempt: u8) -> u64 {
+        self.ack_timeout_ns()
+            .saturating_mul(1u64 << attempt.min(16))
     }
 }
 
@@ -64,6 +122,13 @@ pub struct QueuePair {
     outstanding: AtomicU32,
     posted_sends: AtomicU64,
     posted_recvs: AtomicU64,
+    retry: Mutex<RetryProfile>,
+    /// Send-side packet sequence counter: every posted WR gets a fresh PSN.
+    next_psn: AtomicU64,
+    /// Receive-side record of PSNs whose payload already landed, keyed per
+    /// peer QP. At-least-once wire behaviour (retransmits, duplicated
+    /// packets) collapses to exactly-once at the memory region here.
+    applied_psns: Mutex<std::collections::HashSet<(u32, u64)>>,
     net: Weak<NetworkState>,
     fabric: Arc<dyn Fabric>,
 }
@@ -93,6 +158,9 @@ impl QueuePair {
             outstanding: AtomicU32::new(0),
             posted_sends: AtomicU64::new(0),
             posted_recvs: AtomicU64::new(0),
+            retry: Mutex::new(RetryProfile::from_caps(&caps)),
+            next_psn: AtomicU64::new(0),
+            applied_psns: Mutex::new(std::collections::HashSet::new()),
             net,
             fabric,
         })
@@ -174,6 +242,37 @@ impl QueuePair {
     /// Transition to RTS.
     pub fn modify_to_rts(&self) -> Result<()> {
         self.modify(QpState::ReadyToSend)
+    }
+
+    /// Transition to RTS while overriding the retry/timeout attributes (the
+    /// `timeout`/`retry_cnt`/`rnr_retry` arguments of `ibv_modify_qp` at
+    /// RTS). Without this call, the profile seeded from [`QpCaps`] applies.
+    pub fn modify_to_rts_with(&self, profile: RetryProfile) -> Result<()> {
+        self.modify(QpState::ReadyToSend)?;
+        *self.retry.lock() = profile;
+        Ok(())
+    }
+
+    /// The retry/timeout attributes currently in force.
+    pub fn retry_profile(&self) -> RetryProfile {
+        *self.retry.lock()
+    }
+
+    /// Allocate the next packet sequence number (fabric-internal, at post
+    /// time).
+    pub(crate) fn assign_psn(&self) -> u64 {
+        self.next_psn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Has the payload of `(src_qp, psn)` already been applied here?
+    pub(crate) fn psn_seen(&self, src_qp: u32, psn: u64) -> bool {
+        self.applied_psns.lock().contains(&(src_qp, psn))
+    }
+
+    /// Record `(src_qp, psn)` as applied. Called only after a successful
+    /// delivery, so an RNR-deferred attempt is not mistaken for a duplicate.
+    pub(crate) fn mark_psn(&self, src_qp: u32, psn: u64) {
+        self.applied_psns.lock().insert((src_qp, psn));
     }
 
     /// Force the QP into the error state (fatal completion).
@@ -335,6 +434,8 @@ impl QueuePair {
             imm: wr.imm,
             total_len: total as u32,
             inline_payload: snapshot,
+            psn: self.assign_psn(),
+            ghost: false,
             opts,
         };
         self.fabric.submit(&net, job);

@@ -114,7 +114,12 @@ pub enum WcStatus {
     Success,
     /// The remote key/address validation failed on the target.
     RemoteAccessError,
-    /// The target had no receive WR posted (receiver-not-ready).
+    /// The transport retry limit was exhausted without an acknowledgement
+    /// (`IBV_WC_RETRY_EXC_ERR`): the wire dropped the transfer more than
+    /// `retry_cnt` times in a row.
+    RetryExceeded,
+    /// The target had no receive WR posted after `rnr_retry` RNR-timer
+    /// waits (`IBV_WC_RNR_RETRY_EXC_ERR`).
     RnrRetryExceeded,
     /// A two-sided send's payload exceeded the receive WR's scatter space.
     LocalLengthError,

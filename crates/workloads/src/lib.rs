@@ -13,6 +13,8 @@
 //!   cores (Fig. 14);
 //! - [`halo`] — a 2-D periodic halo exchange (extension; the second
 //!   application pattern of the benchmark suite the paper builds on);
+//! - [`fault_sweep`] — aggregation strategies under injected wire loss
+//!   (drops / duplicates / delays) with the RC reliability layer on;
 //! - [`parallel`] — order-preserving parallel fan-out of independent
 //!   experiment cells across worker threads (each cell owns its scheduler
 //!   and seed, so results are byte-identical at any job count);
@@ -46,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault_sweep;
 pub mod halo;
 pub mod netgauge_provider;
 pub mod noise;
@@ -57,5 +60,6 @@ pub mod stats;
 pub mod sweep;
 pub mod tuning_search;
 
+pub use fault_sweep::{FaultCell, FaultSweep};
 pub use noise::{NoiseModel, ThreadTiming};
 pub use runner::{run_pt2pt, run_pt2pt_with_sink, Pt2PtConfig, Pt2PtResult, RoundSample};

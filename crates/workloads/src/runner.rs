@@ -86,6 +86,16 @@ pub struct Pt2PtResult {
     pub send_req_id: u64,
     /// Identifier of the receive request.
     pub recv_req_id: u64,
+    /// Wire drops injected by the lossy fabric (0 on a clean wire).
+    pub drops: u64,
+    /// Wire retransmissions the reliability layer performed.
+    pub retransmits: u64,
+    /// Ghost duplicates injected (suppressed at the destination by PSN).
+    pub duplicates: u64,
+    /// QP recovery cycles on the sender.
+    pub recoveries: u64,
+    /// Fatal transfer error, if the experiment's send request failed.
+    pub error: Option<&'static str>,
 }
 
 impl Pt2PtResult {
@@ -262,11 +272,20 @@ pub fn run_pt2pt_with_sink(
         cfg.iters,
         "experiment did not complete all rounds"
     );
+    let (drops, retransmits, duplicates) = world
+        .lossy_fabric()
+        .map(|l| (l.dropped(), l.retransmits(), l.duplicated()))
+        .unwrap_or((0, 0, 0));
     Pt2PtResult {
         rounds,
         total_wrs: send.total_wrs_posted(),
         send_req_id: send.id(),
         recv_req_id: recv.id(),
+        drops,
+        retransmits,
+        duplicates,
+        recoveries: send.recoveries(),
+        error: send.error(),
     }
 }
 

@@ -4,16 +4,16 @@
 
 use std::sync::Arc;
 
-use partix_core::{AggregatorKind, PartixConfig, PartixError, World};
+use partix_core::{AggregatorKind, PartixConfig, PartixError, ReliabilityConfig, World};
 use partix_verbs::{FaultPlan, FaultyFabric, InstantFabric, WcStatus};
 
 fn faulty_world(plan: FaultPlan) -> (World, Arc<FaultyFabric>) {
     let faulty = FaultyFabric::new(InstantFabric::new(), plan, WcStatus::RemoteAccessError);
-    let world = World::with_fabric(
-        2,
-        PartixConfig::with_aggregator(AggregatorKind::Persistent),
-        faulty.clone(),
-    );
+    // Reliability off: these tests assert the legacy first-error-poisons
+    // semantics (QP recovery would otherwise absorb the injected fault).
+    let mut config = PartixConfig::with_aggregator(AggregatorKind::Persistent);
+    config.reliability = ReliabilityConfig::disabled();
+    let world = World::with_fabric(2, config, faulty.clone());
     (world, faulty)
 }
 
@@ -124,4 +124,84 @@ fn aggregated_fault_loses_the_whole_group() {
     }
     assert!(send.wait().is_err());
     assert_eq!(recv.arrived_count(), 0, "nothing arrived");
+}
+
+#[test]
+fn posting_onto_a_dead_qp_retires_the_wr_and_terminates() {
+    // All traffic shares one QP; the very first WR is eaten, driving the QP
+    // to the error state. Every later pready then posts onto a dead QP and
+    // must hit `submit`'s poisoned path: the WR is retired immediately (no
+    // completion will ever come), the error is recorded, and the round
+    // terminates instead of hanging with wr_posted > wr_completed.
+    let faulty = FaultyFabric::new(
+        InstantFabric::new(),
+        FaultPlan::Indices(vec![0]),
+        WcStatus::RemoteAccessError,
+    );
+    let mut config = PartixConfig::with_aggregator(AggregatorKind::Persistent);
+    config.reliability = ReliabilityConfig::disabled();
+    config.persistent_qps = 1;
+    let world = World::with_fabric(2, config, faulty.clone());
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(8 * 64).unwrap();
+    let rbuf = p1.alloc_buffer(8 * 64).unwrap();
+    let send = p0.psend_init(&sbuf, 8, 64, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 8, 64, 0, 0).unwrap();
+    recv.start().unwrap();
+    send.start().unwrap();
+    for i in 0..8 {
+        send.pready(i).unwrap();
+    }
+    assert!(matches!(
+        send.wait(),
+        Err(PartixError::TransferFailed { .. })
+    ));
+    assert!(send.error().is_some());
+    // Only the faulted WR reached the wire; the rest were rejected by the
+    // dead QP and retired in software.
+    assert_eq!(faulty.submitted(), 1);
+    assert_eq!(faulty.injected(), 1);
+    assert_eq!(recv.arrived_count(), 0);
+}
+
+#[test]
+fn qp_recovery_absorbs_an_injected_fault() {
+    // Same single-QP setup, but with reliability on: the error completion
+    // triggers QP recovery (Error → Reset → Init → RTR → RTS) and the failed
+    // WR is re-posted. FaultyFabric only eats submission index 0, so the
+    // retry passes and the round completes with full data integrity.
+    let faulty = FaultyFabric::new(
+        InstantFabric::new(),
+        FaultPlan::Indices(vec![0]),
+        WcStatus::RemoteAccessError,
+    );
+    let mut config = PartixConfig::with_aggregator(AggregatorKind::Persistent);
+    config.persistent_qps = 1;
+    let world = World::with_fabric(2, config, faulty.clone());
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let sbuf = p0.alloc_buffer(8 * 64).unwrap();
+    let rbuf = p1.alloc_buffer(8 * 64).unwrap();
+    let send = p0.psend_init(&sbuf, 8, 64, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, 8, 64, 0, 0).unwrap();
+    recv.start().unwrap();
+    send.start().unwrap();
+    for i in 0..8u32 {
+        sbuf.fill(i as usize * 64, 64, 0xC0 + i as u8).unwrap();
+        send.pready(i).unwrap();
+    }
+    send.wait().unwrap();
+    recv.wait().unwrap();
+    assert_eq!(send.error(), None);
+    assert_eq!(send.recoveries(), 1, "exactly one recovery cycle");
+    assert_eq!(faulty.injected(), 1);
+    assert_eq!(recv.arrived_count(), 8);
+    for i in 0..8u32 {
+        assert_eq!(
+            rbuf.read_vec(i as usize * 64, 64).unwrap(),
+            vec![0xC0 + i as u8; 64],
+            "partition {i} bytes"
+        );
+    }
 }
