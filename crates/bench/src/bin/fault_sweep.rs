@@ -2,26 +2,34 @@
 //! with the RC reliability layer on. Writes `results/fault_sweep.json`.
 //!
 //! ```text
-//! fault_sweep [--quick] [--jobs N] [--out DIR] [--seed S]
+//! fault_sweep [--quick] [--jobs N] [--out DIR] [--seed S] [--trace]
 //! ```
 //!
 //! `--jobs N` fans independent cells across N worker threads (default: the
 //! machine's available parallelism); output is byte-identical at any count.
+//! `--trace` additionally runs one fully-observed lossy cell, writes
+//! `<out>/telemetry.json` (counter ledger + invariant verdict) and
+//! `<out>/trace.json` (chrome-trace), and exits non-zero if any counter
+//! conservation law is violated.
 
 use std::path::PathBuf;
 
-use partix_core::PartixConfig;
+use partix_core::{AggregatorKind, LossyConfig, PartixConfig};
+use partix_sim::split_seed;
 use partix_workloads::fault_sweep::{strategy_name, FaultSweep};
+use partix_workloads::{run_traced, Pt2PtConfig, ThreadTiming};
 
 fn main() {
     let mut quick = false;
     let mut jobs = partix_workloads::parallel::default_jobs();
     let mut out = PathBuf::from("results");
     let mut seed: Option<u64> = None;
+    let mut trace = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--trace" => trace = true,
             "--jobs" | "-j" => {
                 let n = it.next().and_then(|v| v.parse::<usize>().ok());
                 let Some(n) = n else {
@@ -86,6 +94,39 @@ fn main() {
     let path = out.join("fault_sweep.json");
     sweep.write_json(&cells, &path).expect("write results");
     println!("wrote {}", path.display());
+
+    if trace {
+        // One fully-observed lossy cell: the chaos wire exercises every
+        // counter family (retransmits, duplicates, RNR waits), so a clean
+        // invariant report here is the strongest single-run check.
+        let mut partix = PartixConfig::with_aggregator(AggregatorKind::TimerPLogGp);
+        partix.fabric.copy_data = true;
+        partix.loss = Some(LossyConfig::chaos(0.05, split_seed(sweep.seed, "trace", 0)));
+        let cfg = Pt2PtConfig {
+            partix,
+            partitions: sweep.partitions,
+            part_bytes: sweep.part_bytes,
+            warmup: 1,
+            iters: 5,
+            timing: ThreadTiming::overhead(),
+            seed: sweep.seed,
+        };
+        let art = run_traced(&cfg);
+        art.write_to(&out).expect("write trace artifacts");
+        println!(
+            "wrote {} and {} ({} spans)",
+            out.join("telemetry.json").display(),
+            out.join("trace.json").display(),
+            art.spans.len(),
+        );
+        if art.report.is_clean() {
+            println!("telemetry invariants: clean");
+        } else {
+            eprintln!("telemetry invariants VIOLATED:\n{}", art.report);
+            std::process::exit(1);
+        }
+    }
+
     if cells.iter().any(|c| c.failed) {
         std::process::exit(1);
     }

@@ -1,9 +1,14 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--jobs N] [--out DIR] [experiment ...]
+//! figures [--quick] [--jobs N] [--out DIR] [--trace] [experiment ...]
 //! experiments: table1 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 | all
 //! ```
+//!
+//! `--trace` additionally runs one fully-observed workload and writes
+//! `<out>/telemetry.json` (counter ledger + invariant verdict) and
+//! `<out>/trace.json` (chrome-trace, open at <https://ui.perfetto.dev>);
+//! the process exits non-zero if any conservation law is violated.
 //!
 //! Each experiment writes `<out>/<name>*.csv` and prints the aligned table
 //! plus headline observables to stdout. The defaults use the paper's
@@ -22,6 +27,7 @@ struct Args {
     quick: bool,
     jobs: usize,
     out: PathBuf,
+    trace: bool,
     which: Vec<String>,
 }
 
@@ -29,11 +35,13 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut jobs = partix_workloads::parallel::default_jobs();
     let mut out = PathBuf::from("results");
+    let mut trace = false;
     let mut which = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--trace" => trace = true,
             "--jobs" | "-j" => {
                 let n = it.next().and_then(|v| v.parse::<usize>().ok());
                 let Some(n) = n else {
@@ -51,7 +59,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--quick] [--jobs N] [--out DIR] [table1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all ...]"
+                    "usage: figures [--quick] [--jobs N] [--out DIR] [--trace] [table1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all ...]"
                 );
                 std::process::exit(0);
             }
@@ -71,7 +79,42 @@ fn parse_args() -> Args {
         quick,
         jobs,
         out,
+        trace,
         which,
+    }
+}
+
+/// Run one fully-observed workload: write `telemetry.json` + `trace.json`
+/// into `out` and return whether the counter ledger reconciled cleanly.
+fn run_trace(out: &std::path::Path, quick: bool) -> bool {
+    use partix_core::{AggregatorKind, PartixConfig};
+    use partix_workloads::{run_traced, Pt2PtConfig, ThreadTiming};
+
+    let mut partix = PartixConfig::with_aggregator(AggregatorKind::TimerPLogGp);
+    partix.fabric.copy_data = true;
+    let cfg = Pt2PtConfig {
+        partix,
+        partitions: 16,
+        part_bytes: 64 << 10,
+        warmup: 1,
+        iters: if quick { 3 } else { 10 },
+        timing: ThreadTiming::perceived_bw(1, 0.04),
+        seed: 7,
+    };
+    let art = run_traced(&cfg);
+    art.write_to(out).expect("write trace artifacts");
+    println!(
+        "wrote {} and {} ({} spans)",
+        out.join("telemetry.json").display(),
+        out.join("trace.json").display(),
+        art.spans.len(),
+    );
+    if art.report.is_clean() {
+        println!("telemetry invariants: clean");
+        true
+    } else {
+        eprintln!("telemetry invariants VIOLATED:\n{}", art.report);
+        false
     }
 }
 
@@ -166,5 +209,9 @@ fn main() {
             }
         }
         eprintln!("[{which} done in {:.1?}]", t0.elapsed());
+    }
+
+    if args.trace && !run_trace(&args.out, args.quick) {
+        std::process::exit(1);
     }
 }

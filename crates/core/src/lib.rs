@@ -64,7 +64,7 @@ pub use config::{AggregatorKind, PartixConfig, ReliabilityConfig};
 pub use error::{PartixError, Result};
 pub use events::{EventSink, NullSink};
 pub use handles::{PrecvRequest, Proc, PsendRequest, MAX_PARTITIONS};
-pub use plan::{plan_for, TransportPlan};
+pub use plan::{plan_for, PlanDecision, TransportPlan};
 pub use tuning::{TuningKey, TuningTable, TuningValue};
 pub use typed::{typed_channel, Element, TypedReceiver, TypedSender};
 pub use ucx::{UcxCost, UcxModel, UcxProtocol};
@@ -72,4 +72,6 @@ pub use world::World;
 
 // Re-export the pieces of the substrate users need to drive the API.
 pub use partix_sim::{Scheduler, SimDuration, SimTime};
+pub use partix_verbs::telemetry;
+pub use partix_verbs::telemetry::{invariants, Registry, Snapshot, SpanEvent, SpanLog};
 pub use partix_verbs::{FabricParams, LossyConfig, LossyFabric, MemoryRegion};

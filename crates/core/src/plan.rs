@@ -10,6 +10,21 @@ use partix_sim::SimDuration;
 
 use crate::config::{AggregatorKind, PartixConfig};
 
+/// How a [`TransportPlan`]'s layout was decided — recorded so telemetry can
+/// attribute each channel establishment to a decision path (the paper's
+/// tuning-table-vs-model distinction, §IV-D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanDecision {
+    /// Fixed, non-adaptive mapping (the Persistent baseline).
+    Fixed,
+    /// Tuning-table hit.
+    Table,
+    /// Tuning-table miss that fell back to the analytic model.
+    TableFallback,
+    /// Computed directly from the P-LogGP model.
+    Model,
+}
+
 /// The immutable transport layout chosen for a channel at init time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransportPlan {
@@ -23,6 +38,8 @@ pub struct TransportPlan {
     pub qp_count: u32,
     /// Delta for the timer aggregator; `None` disables the timer.
     pub timer_delta: Option<SimDuration>,
+    /// Which decision path produced this layout.
+    pub decision: PlanDecision,
 }
 
 impl TransportPlan {
@@ -77,6 +94,7 @@ pub fn plan_for(config: &PartixConfig, partitions: u32, part_bytes: usize) -> Tr
             groups: partitions,
             qp_count: config.persistent_qps.clamp(1, partitions.max(1)),
             timer_delta: None,
+            decision: PlanDecision::Fixed,
         },
         AggregatorKind::TuningTable => {
             if let Some((t, q)) = config
@@ -91,12 +109,14 @@ pub fn plan_for(config: &PartixConfig, partitions: u32, part_bytes: usize) -> Tr
                     groups: t,
                     qp_count: q.clamp(1, config.max_qps_per_channel),
                     timer_delta: None,
+                    decision: PlanDecision::Table,
                 }
             } else {
                 // Missing key: fall back to the model (the paper's table
                 // covered only the searched subset of the space).
                 let mut plan = model_plan(config, partitions, total);
                 plan.kind = AggregatorKind::TuningTable;
+                plan.decision = PlanDecision::TableFallback;
                 plan
             }
         }
@@ -141,6 +161,7 @@ fn model_plan(config: &PartixConfig, partitions: u32, total: usize) -> Transport
         groups: t,
         qp_count: t.min(config.max_qps_per_channel),
         timer_delta: None,
+        decision: PlanDecision::Model,
     }
 }
 
@@ -213,6 +234,7 @@ mod tests {
         assert_eq!(p.groups, 8);
         assert_eq!(p.group_size, 4);
         assert_eq!(p.qp_count, 4);
+        assert_eq!(p.decision, PlanDecision::Table);
     }
 
     #[test]
@@ -224,6 +246,7 @@ mod tests {
             "model fallback should aggregate small messages"
         );
         assert_eq!(p.kind, AggregatorKind::TuningTable);
+        assert_eq!(p.decision, PlanDecision::TableFallback);
     }
 
     #[test]
@@ -246,6 +269,7 @@ mod tests {
             groups: 8,
             qp_count: 3,
             timer_delta: None,
+            decision: PlanDecision::Model,
         };
         assert_eq!(p.group_of(0), 0);
         assert_eq!(p.group_of(5), 1);

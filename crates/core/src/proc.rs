@@ -12,6 +12,7 @@ use std::sync::{Arc, Weak};
 use parking_lot::{Mutex, RwLock};
 
 use partix_sim::{SerialResource, SimTime, TimeSource};
+use partix_verbs::telemetry::Registry;
 use partix_verbs::{CompletionQueue, Context, ProtectionDomain, VerbsError, WorkCompletion};
 
 use crate::config::PartixConfig;
@@ -37,6 +38,8 @@ pub(crate) struct ProcInner {
     pub time: TimeSource,
     pub sim_mode: bool,
     pub sink: SinkHandle,
+    /// World-wide telemetry registry (runtime counters live here).
+    pub tel: Arc<Registry>,
     pub progress_lock: Mutex<()>,
     pub pending_sends: Mutex<HashMap<u64, Arc<SendShared>>>,
     pub pending_recvs: Mutex<HashMap<u64, Arc<RecvShared>>>,
@@ -136,7 +139,10 @@ impl ProcInner {
                     break;
                 };
                 match ch.qps[p.qp_idx as usize].post_send_with(p.wr.clone(), p.opts) {
-                    Ok(()) => posted += 1,
+                    Ok(()) => {
+                        self.tel.runtime.pending_reposts.inc();
+                        posted += 1;
+                    }
                     Err(VerbsError::SendQueueFull { .. }) => {
                         ch.pending.lock().push_front(p);
                         break;

@@ -185,6 +185,7 @@ impl SendShared {
         }
         self.proc
             .emit(|s, t| s.on_pready(self.proc.rank, self.id, i, t));
+        self.proc.tel.runtime.preadys.inc();
         self.pready_count.fetch_add(1, Ordering::AcqRel);
         if self.proc.config.adaptive_delta {
             self.arrival_log
@@ -281,6 +282,7 @@ impl SendShared {
         {
             return; // the whole group was already sent
         }
+        self.proc.tel.runtime.timer_fires.inc();
         self.post_runs(ch, g, None);
     }
 
@@ -331,6 +333,8 @@ impl SendShared {
         self.sent_count.fetch_add(len, Ordering::AcqRel);
         self.wr_posted.fetch_add(1, Ordering::AcqRel);
         self.wr_posted_total.fetch_add(1, Ordering::Relaxed);
+        self.proc.tel.runtime.aggregated_wrs.inc();
+        self.proc.tel.runtime.partitions_posted.add(len as u64);
         self.proc
             .emit(|s, t| s.on_wr_posted(self.proc.rank, self.id, lo, len, t));
 
@@ -379,6 +383,7 @@ impl SendShared {
         match ch.qps[qp_idx as usize].post_send_with(wr.clone(), opts) {
             Ok(()) => {}
             Err(VerbsError::SendQueueFull { .. }) => {
+                self.proc.tel.runtime.pending_spills.inc();
                 ch.pending
                     .lock()
                     .push_back(PendingPost { qp_idx, wr, opts });
@@ -507,6 +512,7 @@ impl SendShared {
             return false;
         }
         self.recoveries_total.fetch_add(1, Ordering::Relaxed);
+        self.proc.tel.runtime.recoveries.inc();
         let qp = &ch.qps[post.qp_idx as usize];
         if qp.state() == QpState::Error && !recover_qp(qp) {
             return false;
@@ -612,10 +618,14 @@ fn recover_qp(qp: &Arc<QueuePair>) -> bool {
     let Some(peer) = qp.peer() else {
         return false;
     };
-    qp.modify(QpState::Reset).is_ok()
+    let ok = qp.modify(QpState::Reset).is_ok()
         && qp.modify(QpState::Init).is_ok()
         && qp.modify_to_rtr(peer).is_ok()
-        && qp.modify_to_rts().is_ok()
+        && qp.modify_to_rts().is_ok();
+    if ok {
+        qp.counters().recoveries.inc();
+    }
+    ok
 }
 
 /// Wire resources of a matched receive request.

@@ -16,13 +16,14 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::{Mutex, RwLock};
 
 use partix_sim::{Scheduler, SerialResource, SimTime, TimeSource};
+use partix_verbs::telemetry::{invariants, Registry, Snapshot, SpanLog};
 use partix_verbs::{connect_pair, Fabric, LossyFabric, Network, QpCaps, SimFabric};
 
 use crate::config::PartixConfig;
 use crate::error::Result;
 use crate::events::EventSink;
 use crate::handles::Proc;
-use crate::plan::plan_for;
+use crate::plan::{plan_for, PlanDecision};
 use crate::proc::{ProcInner, SinkHandle};
 use crate::request::{GroupState, RecvChannel, RecvShared, SendChannel, SendShared};
 
@@ -186,6 +187,31 @@ impl World {
         self.inner.lossy.as_ref()
     }
 
+    /// The telemetry registry the whole stack reports into.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        self.inner.network.state().telemetry()
+    }
+
+    /// Freeze the complete telemetry ledger (per-QP, per-CQ, wire, and
+    /// runtime counters) for invariant checking or export.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.inner.network.state().telemetry_snapshot()
+    }
+
+    /// Reconcile the current ledger against the conservation laws. Call at
+    /// quiescence (after `sched.run()` returns / all requests completed).
+    pub fn check_invariants(&self) -> invariants::Report {
+        invariants::check(&self.telemetry_snapshot())
+    }
+
+    /// Enable span tracing (sim mode only): modelled hardware resources
+    /// record their busy intervals into `log` for chrome-trace export.
+    pub fn enable_tracing(&self, log: Arc<SpanLog>) {
+        if let Some(fabric) = &self.inner.sim_fabric {
+            fabric.trace_into(log);
+        }
+    }
+
     /// Install an event sink (profiler hook).
     pub fn set_event_sink(&self, sink: Arc<dyn EventSink>) {
         *self.inner.sink.write() = Some(sink);
@@ -221,6 +247,7 @@ impl World {
                     time: self.inner.time.clone(),
                     sim_mode: self.inner.sim.is_some(),
                     sink: self.inner.sink.clone(),
+                    tel: self.inner.network.state().telemetry().clone(),
                     progress_lock: Mutex::new(()),
                     pending_sends: Mutex::new(HashMap::new()),
                     pending_recvs: Mutex::new(HashMap::new()),
@@ -273,6 +300,13 @@ fn establish(world: &Arc<WorldInner>, s: Arc<SendShared>, r: Arc<RecvShared>) ->
     );
 
     let plan = plan_for(&world.config, s.partitions, s.part_bytes);
+    let rt = &world.network.state().telemetry().runtime;
+    match plan.decision {
+        PlanDecision::Fixed => rt.fixed_decisions.inc(),
+        PlanDecision::Table => rt.table_decisions.inc(),
+        PlanDecision::TableFallback => rt.table_fallback_decisions.inc(),
+        PlanDecision::Model => rt.model_decisions.inc(),
+    }
     // Retry/timeout attributes from the reliability configuration, applied
     // at QP creation (they take effect at RTR/RTS, like `ibv_modify_qp`).
     let rel = &world.config.reliability;

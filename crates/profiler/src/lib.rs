@@ -36,7 +36,9 @@
 mod analysis;
 mod recorder;
 mod timeline;
+mod trace;
 
 pub use analysis::{min_delta_ns, ArrivalPoint, ArrivalProfile};
 pub use recorder::{Profiler, RecvTrace, RoundTrace, SendTrace};
 pub use timeline::{PartitionSpan, Timeline};
+pub use trace::chrome_spans;

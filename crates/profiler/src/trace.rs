@@ -1,0 +1,164 @@
+//! Chrome-trace export of profiler recordings.
+//!
+//! Converts [`Profiler`](crate::Profiler) round traces into
+//! [`SpanEvent`]s on the same timeline as the fabric's resource spans, so
+//! one chrome-trace file shows application phases (round windows,
+//! pready-to-post staging, arrival processing) next to the modelled
+//! hardware occupancy. Lanes: `pid` is the owning rank, `tid` is derived
+//! from the request id, offset past the fabric's engine lanes.
+
+use partix_core::SpanEvent;
+
+use crate::recorder::{RecvTrace, RoundTrace, SendTrace};
+use crate::Profiler;
+
+/// First `tid` used for request lanes; keeps them clear of the fabric's
+/// NIC/egress/ingress/QP-engine lanes in the same trace.
+const REQUEST_TID_BASE: u32 = 1 << 16;
+
+fn lane(req: u64) -> u32 {
+    REQUEST_TID_BASE + (req as u32 & 0xFFFF)
+}
+
+fn round_span(
+    name: String,
+    cat: &'static str,
+    pid: u32,
+    tid: u32,
+    r: &RoundTrace,
+) -> Option<SpanEvent> {
+    let start = r.start?;
+    let end = r.complete?;
+    Some(SpanEvent {
+        name: name.into(),
+        cat,
+        pid,
+        tid,
+        ts_ns: start.as_nanos(),
+        dur_ns: end.saturating_since(start).as_nanos(),
+    })
+}
+
+fn send_spans(req: u64, t: &SendTrace, out: &mut Vec<SpanEvent>) {
+    let tid = lane(req);
+    for (i, r) in t.rounds.iter().enumerate() {
+        if let Some(s) = round_span(
+            format!("send[req {req}] round {}", i + 1),
+            "round",
+            t.rank,
+            tid,
+            r,
+        ) {
+            out.push(s);
+        }
+        if r.start.is_none() {
+            continue;
+        }
+        // Staging span per pready: from the commit to the post of the WR
+        // that covered the partition (the aggregation wait the timer
+        // policy trades against extra messages).
+        for (p, tp) in &r.preadys {
+            let posted = r
+                .wrs
+                .iter()
+                .find(|(lo, count, tw)| *lo <= *p && *p < lo + count && *tw >= *tp)
+                .map(|(_, _, tw)| *tw);
+            let Some(tw) = posted else { continue };
+            out.push(SpanEvent {
+                name: format!("p{p} staged").into(),
+                cat: "partition",
+                pid: t.rank,
+                tid,
+                ts_ns: tp.as_nanos(),
+                dur_ns: tw.saturating_since(*tp).as_nanos(),
+            });
+        }
+    }
+}
+
+fn recv_spans(req: u64, t: &RecvTrace, out: &mut Vec<SpanEvent>) {
+    let tid = lane(req);
+    for (i, r) in t.rounds.iter().enumerate() {
+        if let Some(s) = round_span(
+            format!("recv[req {req}] round {}", i + 1),
+            "round",
+            t.rank,
+            tid,
+            r,
+        ) {
+            out.push(s);
+        }
+        for (p, ta) in &r.arrivals {
+            out.push(SpanEvent {
+                name: format!("p{p} arrived").into(),
+                cat: "arrival",
+                pid: t.rank,
+                tid,
+                ts_ns: ta.as_nanos(),
+                dur_ns: 0,
+            });
+        }
+    }
+}
+
+/// All recorded rounds as chrome-trace spans, sorted by start time.
+pub fn chrome_spans(profiler: &Profiler) -> Vec<SpanEvent> {
+    let mut out = Vec::new();
+    for req in profiler.send_request_ids() {
+        if let Some(t) = profiler.send_trace(req) {
+            send_spans(req, &t, &mut out);
+        }
+    }
+    for req in profiler.recv_request_ids() {
+        if let Some(t) = profiler.recv_trace(req) {
+            recv_spans(req, &t, &mut out);
+        }
+    }
+    out.sort_by_key(|s| (s.ts_ns, s.pid, s.tid));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_core::EventSink;
+    use partix_sim::SimTime;
+
+    #[test]
+    fn rounds_and_partitions_become_spans() {
+        let p = Profiler::new();
+        p.on_send_start(0, 1, 1, SimTime(100));
+        p.on_pready(0, 1, 0, SimTime(150));
+        p.on_pready(0, 1, 1, SimTime(180));
+        p.on_wr_posted(0, 1, 0, 2, SimTime(200));
+        p.on_send_complete(0, 1, 1, SimTime(400));
+        p.on_recv_start(1, 2, 1, SimTime(90));
+        p.on_partition_arrived(1, 2, 0, SimTime(350));
+        p.on_partition_arrived(1, 2, 1, SimTime(350));
+        p.on_recv_complete(1, 2, 1, SimTime(360));
+
+        let spans = chrome_spans(&p);
+        let round = spans
+            .iter()
+            .find(|s| &*s.name == "send[req 1] round 1")
+            .unwrap();
+        assert_eq!((round.ts_ns, round.dur_ns), (100, 300));
+        assert_eq!(round.pid, 0);
+        let staged = spans.iter().find(|s| &*s.name == "p1 staged").unwrap();
+        assert_eq!((staged.ts_ns, staged.dur_ns), (180, 20));
+        let arrived: Vec<_> = spans.iter().filter(|s| s.cat == "arrival").collect();
+        assert_eq!(arrived.len(), 2);
+        assert!(arrived.iter().all(|s| s.pid == 1));
+        // Sorted by start time.
+        assert!(spans.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn incomplete_round_yields_no_round_span() {
+        let p = Profiler::new();
+        p.on_send_start(0, 7, 1, SimTime(0));
+        p.on_pready(0, 7, 0, SimTime(5));
+        let spans = chrome_spans(&p);
+        assert!(spans.iter().all(|s| s.cat != "round"));
+    }
+}

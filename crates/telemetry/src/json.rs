@@ -1,0 +1,258 @@
+//! Hand-written JSON writers for the two export artifacts:
+//! `telemetry.json` (full ledger + invariant report) and a chrome-trace
+//! file loadable in `chrome://tracing` / Perfetto.
+//!
+//! The workspace has no serde; like the bench result writers, these build
+//! the strings directly. All keys are static and all values are integers
+//! or escaped strings, so the output is always valid JSON.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::counters::STATUS_NAMES;
+use crate::invariants::Report;
+use crate::snapshot::Snapshot;
+use crate::trace::SpanEvent;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot plus its invariant report as a JSON document and
+/// write it to `path`, creating parent directories as needed.
+pub fn write_telemetry_json(path: &Path, snap: &Snapshot, report: &Report) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, telemetry_json(snap, report))
+}
+
+fn telemetry_json(snap: &Snapshot, report: &Report) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n  \"qps\": [");
+    for (i, q) in snap.qps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"node\": {}, \"qp_num\": {}, \"state\": \"{}\", \"outstanding\": {}, \
+             \"recv_queue_depth\": {}, \"send_posted\": {}, \"recv_posted\": {}, \
+             \"recv_consumed\": {}, \"completed_success\": {}, \"completed_error\": {}, \
+             \"bytes_posted\": {}, \"bytes_completed\": {}, \"recoveries\": {}, \
+             \"slot_underflows\": {}}}",
+            q.node,
+            q.qp_num,
+            escape(q.state),
+            q.outstanding,
+            q.recv_queue_depth,
+            q.send_posted,
+            q.recv_posted,
+            q.recv_consumed,
+            q.completed_success,
+            q.completed_error,
+            q.bytes_posted,
+            q.bytes_completed,
+            q.recoveries,
+            q.slot_underflows,
+        );
+    }
+    s.push_str("\n  ],\n  \"cqs\": [");
+    for (i, c) in snap.cqs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n    {{\"cq_id\": {}, \"pushed\": {{", c.cq_id);
+        for (j, (name, count)) in STATUS_NAMES.iter().zip(c.pushed_by_status).enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{name}\": {count}");
+        }
+        let _ = write!(
+            s,
+            "}}, \"pushed_total\": {}, \"polled\": {}, \"recv_pushed\": {}, \"recv_bytes\": {}}}",
+            c.pushed_total, c.polled, c.recv_pushed, c.recv_bytes,
+        );
+    }
+    let w = &snap.wire;
+    let _ = write!(
+        s,
+        "\n  ],\n  \"wire\": {{\n    \"inner_submissions\": {}, \"retransmits\": {}, \
+         \"dropped\": {}, \"duplicates_injected\": {}, \"delayed\": {}, \"exhausted\": {},\n    \
+         \"injected_faults\": {}, \"rnr_requeues\": {}, \"mtu_segments\": {}, \
+         \"delivery_attempts\": {},\n    \"delivered\": {}, \"delivered_ghost\": {}, \
+         \"duplicates_suppressed\": {}, \"remote_errors\": {},\n    \"receiver_not_ready\": {}, \
+         \"length_errors\": {}, \"bytes_delivered\": {}, \"recv_cqes\": {}\n  }},",
+        w.inner_submissions,
+        w.retransmits,
+        w.dropped,
+        w.duplicates_injected,
+        w.delayed,
+        w.exhausted,
+        w.injected_faults,
+        w.rnr_requeues,
+        w.mtu_segments,
+        w.delivery_attempts,
+        w.delivered,
+        w.delivered_ghost,
+        w.duplicates_suppressed,
+        w.remote_errors,
+        w.receiver_not_ready,
+        w.length_errors,
+        w.bytes_delivered,
+        w.recv_cqes,
+    );
+    let r = &snap.runtime;
+    let _ = write!(
+        s,
+        "\n  \"runtime\": {{\n    \"preadys\": {}, \"timer_fires\": {}, \"aggregated_wrs\": {}, \
+         \"partitions_posted\": {},\n    \"pending_spills\": {}, \"pending_reposts\": {}, \
+         \"recoveries\": {},\n    \"decisions\": {{\"table\": {}, \"table_fallback\": {}, \
+         \"model\": {}, \"fixed\": {}}}\n  }},",
+        r.preadys,
+        r.timer_fires,
+        r.aggregated_wrs,
+        r.partitions_posted,
+        r.pending_spills,
+        r.pending_reposts,
+        r.recoveries,
+        r.table_decisions,
+        r.table_fallback_decisions,
+        r.model_decisions,
+        r.fixed_decisions,
+    );
+    let _ = write!(
+        s,
+        "\n  \"invariants\": {{\n    \"clean\": {},\n    \"violations\": [",
+        report.is_clean(),
+    );
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n      \"{}\"", escape(&v.to_string()));
+    }
+    s.push_str("\n    ]\n  }\n}\n");
+    s
+}
+
+/// Write spans as a chrome-trace JSON array-format file at `path`,
+/// creating parent directories as needed. Load in `chrome://tracing` or
+/// <https://ui.perfetto.dev>. Timestamps are converted from nanoseconds to
+/// the microseconds the format expects, preserving sub-µs precision as
+/// fractional values.
+pub fn write_chrome_trace(path: &Path, spans: &[SpanEvent]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, chrome_trace_json(spans))
+}
+
+fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut s = String::with_capacity(128 + spans.len() * 128);
+    s.push_str("{\"traceEvents\": [");
+    for (i, e) in spans.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": {}, \"tid\": {}, \
+             \"ts\": {}, \"dur\": {}}}",
+            escape(&e.name),
+            escape(e.cat),
+            e.pid,
+            e.tid,
+            micros(e.ts_ns),
+            micros(e.dur_ns),
+        );
+    }
+    s.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
+    s
+}
+
+/// Nanoseconds → microseconds with three decimal places, no float noise.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants;
+    use crate::snapshot::Snapshot;
+    use crate::trace::SpanEvent;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn micros_preserves_sub_us() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1500), "1.500");
+        assert_eq!(micros(999), "0.999");
+    }
+
+    #[test]
+    fn telemetry_json_is_balanced() {
+        let snap = Snapshot::default();
+        let report = invariants::check(&snap);
+        let text = telemetry_json(&snap, &report);
+        // Structural sanity without a JSON parser: balanced delimiters and
+        // the expected top-level keys.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces in:\n{text}"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        for key in [
+            "\"qps\"",
+            "\"cqs\"",
+            "\"wire\"",
+            "\"runtime\"",
+            "\"invariants\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        assert!(text.contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_and_balances() {
+        let spans = vec![SpanEvent {
+            name: "wire \"hot\"".into(),
+            cat: "resource",
+            pid: 1,
+            tid: 2,
+            ts_ns: 1500,
+            dur_ns: 250,
+        }];
+        let text = chrome_trace_json(&spans);
+        assert!(text.contains("\\\"hot\\\""));
+        assert!(text.contains("\"ts\": 1.500"));
+        assert!(text.contains("\"dur\": 0.250"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

@@ -1,0 +1,39 @@
+//! # partix-telemetry
+//!
+//! First-class observability for the `partix` stack: relaxed-atomic counters
+//! threaded through the verbs layer (per-QP, per-CQ, wire-level), the MPI
+//! Partitioned runtime (per-strategy aggregation activity), and the
+//! discrete-event simulator (span events for chrome-trace export) — plus an
+//! [`invariants`] module that reconciles the whole ledger after a run.
+//!
+//! Design rules:
+//!
+//! - **Zero allocation on the hot path.** Every counter is a pre-registered
+//!   relaxed [`AtomicU64`](std::sync::atomic::AtomicU64); incrementing never
+//!   takes a lock or allocates. Span recording allocates only when a
+//!   [`SpanLog`] has been explicitly attached (tracing off = a single atomic
+//!   load).
+//! - **Counters are a ledger, not a log.** Every event is counted at exactly
+//!   one site, and the sites are chosen so conservation laws hold *by
+//!   construction*: `invariants::check` failing means an instrumentation or
+//!   accounting bug, not noise.
+//! - **No serde.** JSON exports ([`write_telemetry_json`],
+//!   [`write_chrome_trace`]) are hand-written, like the rest of the
+//!   workspace's result files.
+
+#![warn(missing_docs)]
+
+mod counters;
+mod json;
+mod snapshot;
+mod trace;
+
+pub mod invariants;
+
+pub use counters::{
+    segments_for, Counter, CqCounters, QpCounters, Registry, RuntimeCounters, WireCounters,
+    STATUS_NAMES, STATUS_SLOTS,
+};
+pub use json::{write_chrome_trace, write_telemetry_json};
+pub use snapshot::{CqSnapshot, QpSnapshot, RuntimeSnapshot, Snapshot, WireSnapshot};
+pub use trace::{SpanEvent, SpanLog};

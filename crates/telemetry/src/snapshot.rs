@@ -1,0 +1,142 @@
+//! Point-in-time copies of every ledger, suitable for invariant checking
+//! and JSON export.
+
+use crate::counters::STATUS_SLOTS;
+
+/// Frozen view of one queue pair's ledger plus its live state.
+#[derive(Clone, Debug)]
+pub struct QpSnapshot {
+    /// Node that owns the QP.
+    pub node: u32,
+    /// QP number.
+    pub qp_num: u32,
+    /// QP state name at snapshot time (e.g. `"RTS"`, `"Error"`).
+    pub state: &'static str,
+    /// Send WRs currently posted but not yet completed (live slot count).
+    pub outstanding: u64,
+    /// Receive WRs currently posted but not yet consumed.
+    pub recv_queue_depth: u64,
+    /// Send WRs accepted by `post_send`.
+    pub send_posted: u64,
+    /// Receive WRs accepted by `post_recv`.
+    pub recv_posted: u64,
+    /// Receive WRs consumed by arriving messages.
+    pub recv_consumed: u64,
+    /// Send WRs completed successfully.
+    pub completed_success: u64,
+    /// Send WRs completed with an error status.
+    pub completed_error: u64,
+    /// Payload bytes across accepted send WRs.
+    pub bytes_posted: u64,
+    /// Payload bytes across successful completions.
+    pub bytes_completed: u64,
+    /// Error-state recoveries performed on this QP.
+    pub recoveries: u64,
+    /// Send-slot releases that hit an already-zero outstanding count.
+    pub slot_underflows: u64,
+}
+
+/// Frozen view of one completion queue's ledger.
+#[derive(Clone, Debug)]
+pub struct CqSnapshot {
+    /// CQ identifier.
+    pub cq_id: u32,
+    /// CQEs pushed, bucketed by `WcStatus` discriminant.
+    pub pushed_by_status: [u64; STATUS_SLOTS],
+    /// Total CQEs pushed.
+    pub pushed_total: u64,
+    /// CQEs polled out by the application.
+    pub polled: u64,
+    /// Receive-side CQEs pushed.
+    pub recv_pushed: u64,
+    /// Bytes reported by receive-side CQEs.
+    pub recv_bytes: u64,
+}
+
+/// Frozen view of the wire ledger. Field meanings match
+/// [`crate::WireCounters`].
+#[derive(Clone, Debug, Default)]
+#[allow(missing_docs)]
+pub struct WireSnapshot {
+    pub inner_submissions: u64,
+    pub retransmits: u64,
+    pub dropped: u64,
+    pub duplicates_injected: u64,
+    pub delayed: u64,
+    pub exhausted: u64,
+    pub injected_faults: u64,
+    pub rnr_requeues: u64,
+    pub mtu_segments: u64,
+    pub delivery_attempts: u64,
+    pub delivered: u64,
+    pub delivered_ghost: u64,
+    pub duplicates_suppressed: u64,
+    pub remote_errors: u64,
+    pub receiver_not_ready: u64,
+    pub length_errors: u64,
+    pub bytes_delivered: u64,
+    pub recv_cqes: u64,
+}
+
+/// Frozen view of the runtime ledger. Field meanings match
+/// [`crate::RuntimeCounters`].
+#[derive(Clone, Debug, Default)]
+#[allow(missing_docs)]
+pub struct RuntimeSnapshot {
+    pub preadys: u64,
+    pub timer_fires: u64,
+    pub aggregated_wrs: u64,
+    pub partitions_posted: u64,
+    pub pending_spills: u64,
+    pub pending_reposts: u64,
+    pub recoveries: u64,
+    pub table_decisions: u64,
+    pub table_fallback_decisions: u64,
+    pub model_decisions: u64,
+    pub fixed_decisions: u64,
+}
+
+/// A complete, self-consistent copy of every ledger in one network.
+///
+/// Built by `NetworkState::telemetry_snapshot()` (verbs side), which walks
+/// the live QPs so `outstanding`/`recv_queue_depth`/`state` reflect the same
+/// instant as the counters. All invariant checking and export operates on
+/// this frozen form.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// One entry per live queue pair.
+    pub qps: Vec<QpSnapshot>,
+    /// One entry per completion queue.
+    pub cqs: Vec<CqSnapshot>,
+    /// Wire-level ledger.
+    pub wire: WireSnapshot,
+    /// Aggregation-runtime ledger.
+    pub runtime: RuntimeSnapshot,
+}
+
+impl Snapshot {
+    /// Sum of send WRs posted across all QPs.
+    pub fn total_send_posted(&self) -> u64 {
+        self.qps.iter().map(|q| q.send_posted).sum()
+    }
+
+    /// Sum of successful send completions across all QPs.
+    pub fn total_completed_success(&self) -> u64 {
+        self.qps.iter().map(|q| q.completed_success).sum()
+    }
+
+    /// Sum of errored send completions across all QPs.
+    pub fn total_completed_error(&self) -> u64 {
+        self.qps.iter().map(|q| q.completed_error).sum()
+    }
+
+    /// Sum of live outstanding send slots across all QPs.
+    pub fn total_outstanding(&self) -> u64 {
+        self.qps.iter().map(|q| q.outstanding).sum()
+    }
+
+    /// Sum of payload bytes in successful completions across all QPs.
+    pub fn total_bytes_completed(&self) -> u64 {
+        self.qps.iter().map(|q| q.bytes_completed).sum()
+    }
+}

@@ -1,0 +1,108 @@
+//! Span events for chrome-trace export.
+//!
+//! Producers (the simulated fabric's serial resources, the profiler's
+//! round timelines) push [`SpanEvent`]s into a shared [`SpanLog`]. The log
+//! is explicitly attached — when absent, producers pay one atomic load and
+//! record nothing, keeping the hot path allocation-free.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One complete ("X"-phase) span on the chrome-trace timeline.
+///
+/// Timestamps are raw nanoseconds so this crate stays independent of the
+/// simulator's `SimTime`; producers convert at the recording site.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Track name, e.g. `"nic:0"` or `"round 3 wire"`. Shared, not owned:
+    /// hot-path producers record the same name many times, and an
+    /// `Arc<str>` clone is a refcount bump instead of an allocation.
+    pub name: Arc<str>,
+    /// Category tag, e.g. `"resource"`, `"round"`.
+    pub cat: &'static str,
+    /// Process id lane in the trace viewer (we use the node/rank).
+    pub pid: u32,
+    /// Thread id lane within the process (we use a per-resource index).
+    pub tid: u32,
+    /// Start time in nanoseconds of virtual time.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A shared, append-only collection of spans.
+#[derive(Debug, Default)]
+pub struct SpanLog {
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+impl SpanLog {
+    /// A fresh, empty log behind an `Arc` (producers hold clones).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Append one span.
+    pub fn record(&self, span: SpanEvent) {
+        self.spans.lock().push(span);
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out every span, sorted by start time.
+    pub fn sorted(&self) -> Vec<SpanEvent> {
+        let mut spans = self.spans.lock().clone();
+        spans.sort_by_key(|s| (s.ts_ns, s.pid, s.tid));
+        spans
+    }
+
+    /// Take every recorded span, leaving the log empty (the backing
+    /// allocation is kept for reuse). Used by long-running harnesses that
+    /// trace round by round.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut spans = self.spans.lock();
+        let out = spans.clone();
+        spans.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_collects_and_sorts() {
+        let log = SpanLog::new();
+        assert!(log.is_empty());
+        log.record(SpanEvent {
+            name: "b".into(),
+            cat: "t",
+            pid: 0,
+            tid: 0,
+            ts_ns: 20,
+            dur_ns: 5,
+        });
+        log.record(SpanEvent {
+            name: "a".into(),
+            cat: "t",
+            pid: 0,
+            tid: 0,
+            ts_ns: 10,
+            dur_ns: 5,
+        });
+        let spans = log.sorted();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(&*spans[0].name, "a");
+        assert_eq!(&*spans[1].name, "b");
+    }
+}

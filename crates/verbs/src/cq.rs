@@ -12,7 +12,21 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::types::WorkCompletion;
+use partix_telemetry::CqCounters;
+
+use crate::types::{WcOpcode, WcStatus, WorkCompletion};
+
+/// Index of `status` in the telemetry per-status buckets (aligned with
+/// `partix_telemetry::STATUS_NAMES`).
+fn status_slot(status: WcStatus) -> usize {
+    match status {
+        WcStatus::Success => 0,
+        WcStatus::RemoteAccessError => 1,
+        WcStatus::RetryExceeded => 2,
+        WcStatus::RnrRetryExceeded => 3,
+        WcStatus::LocalLengthError => 4,
+    }
+}
 
 /// Initial ring capacity: sized to the runtime's poll batch so steady-state
 /// traffic never reallocates the entry deque.
@@ -28,6 +42,7 @@ pub struct CompletionQueue {
     notify: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
     pushed: AtomicU64,
     polled: AtomicU64,
+    counters: Arc<CqCounters>,
 }
 
 impl CompletionQueue {
@@ -38,12 +53,19 @@ impl CompletionQueue {
             notify: RwLock::new(None),
             pushed: AtomicU64::new(0),
             polled: AtomicU64::new(0),
+            counters: Arc::new(CqCounters::default()),
         })
     }
 
     /// Queue identifier.
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// This CQ's telemetry ledger (registered with the network's registry
+    /// at `create_cq` time).
+    pub fn counters(&self) -> &Arc<CqCounters> {
+        &self.counters
     }
 
     /// Install (or replace) the completion-notify hook. The hook runs on the
@@ -61,6 +83,11 @@ impl CompletionQueue {
 
     /// Push a completion and fire the notify hook. Fabric-internal.
     pub(crate) fn push(&self, wc: WorkCompletion) {
+        self.counters.pushed_by_status[status_slot(wc.status)].inc();
+        if matches!(wc.opcode, WcOpcode::Recv | WcOpcode::RecvRdmaWithImm) {
+            self.counters.recv_pushed.inc();
+            self.counters.recv_bytes.add(wc.byte_len as u64);
+        }
         self.entries.lock().push_back(wc);
         self.pushed.fetch_add(1, Ordering::Relaxed);
         // Clone under the read guard, call outside it: the hook may
@@ -79,6 +106,7 @@ impl CompletionQueue {
         let n = max.min(q.len());
         out.extend(q.drain(..n));
         self.polled.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters.polled.add(n as u64);
         n
     }
 
@@ -88,6 +116,7 @@ impl CompletionQueue {
         let wc = q.pop_front();
         if wc.is_some() {
             self.polled.fetch_add(1, Ordering::Relaxed);
+            self.counters.polled.inc();
         }
         wc
     }

@@ -135,6 +135,35 @@ pub fn execute_delivery_ext(
     job: &TransferJob,
     copy_data: bool,
 ) -> DeliveryOutcome {
+    // Telemetry: the attempt is counted before any validation so that the
+    // outcome buckets below always partition the attempts exactly — the
+    // "outcome partition" invariant. Every return path of `deliver` maps to
+    // precisely one bucket.
+    let wire = &net.telemetry().wire;
+    wire.delivery_attempts.inc();
+    let outcome = deliver(net, job, copy_data);
+    match &outcome {
+        DeliveryOutcome::Delivered { bytes } => {
+            wire.delivered.inc();
+            wire.bytes_delivered.add(*bytes as u64);
+            if job.ghost {
+                wire.delivered_ghost.inc();
+            }
+            // Every opcode except a bare RDMA write pushes a receive CQE on
+            // delivery; mirrored against the CQ-side `recv_pushed` count.
+            if job.opcode != Opcode::RdmaWrite {
+                wire.recv_cqes.inc();
+            }
+        }
+        DeliveryOutcome::Duplicate => wire.duplicates_suppressed.inc(),
+        DeliveryOutcome::RemoteAccessError => wire.remote_errors.inc(),
+        DeliveryOutcome::ReceiverNotReady => wire.receiver_not_ready.inc(),
+        DeliveryOutcome::PayloadTooLarge => wire.length_errors.inc(),
+    }
+    outcome
+}
+
+fn deliver(net: &Arc<NetworkState>, job: &TransferJob, copy_data: bool) -> DeliveryOutcome {
     let Ok(dst_node) = net.node(job.dst_node) else {
         return DeliveryOutcome::RemoteAccessError;
     };
@@ -270,7 +299,11 @@ pub fn complete_send(net: &Arc<NetworkState>, job: &TransferJob, status: WcStatu
         return;
     };
     src_qp.release_send_slot();
-    if status != WcStatus::Success {
+    if status == WcStatus::Success {
+        src_qp.counters().completed_success.inc();
+        src_qp.counters().bytes_completed.add(job.total_len as u64);
+    } else {
+        src_qp.counters().completed_error.inc();
         src_qp.set_error();
     }
     let opcode = match job.opcode {

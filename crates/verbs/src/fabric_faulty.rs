@@ -125,6 +125,7 @@ impl Fabric for FaultyFabric {
         let index = self.submitted.fetch_add(1, Ordering::Relaxed);
         if self.should_fail(index) {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            net.telemetry().wire.injected_faults.inc();
             // The wire "ate" the transfer: no delivery, no data movement,
             // only an error completion on the sender.
             complete_send(net, &job, self.status);

@@ -43,6 +43,7 @@ impl Fabric for InstantFabric {
         self.transfers.fetch_add(1, Ordering::Relaxed);
         self.bytes
             .fetch_add(job.total_len as u64, Ordering::Relaxed);
+        net.telemetry().wire.inner_submissions.inc();
         // Receiver-not-ready triggers the QP's bounded RNR retry loop: with
         // real threads the receiver may be about to post its WR, so each
         // attempt yields the CPU first (the zero-latency analogue of waiting
@@ -53,6 +54,7 @@ impl Fabric for InstantFabric {
             let outcome = execute_delivery(net, &job);
             if matches!(outcome, DeliveryOutcome::ReceiverNotReady) && attempt < rnr_budget {
                 attempt += 1;
+                net.telemetry().wire.rnr_requeues.inc();
                 std::thread::yield_now();
                 continue;
             }

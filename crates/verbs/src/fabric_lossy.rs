@@ -190,6 +190,7 @@ impl LossyFabric {
         // the two writes memory; the ghost never completes at the sender.
         if !job.ghost && dup_roll < self.cfg.dup_p {
             self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            net.telemetry().wire.duplicates_injected.inc();
             let mut ghost = job.clone();
             ghost.ghost = true;
             self.inner.submit(net, ghost);
@@ -197,17 +198,24 @@ impl LossyFabric {
 
         if drop_roll < self.cfg.drop_p {
             self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            net.telemetry().wire.dropped.inc();
             if job.ghost {
-                return; // a lost duplicate is simply gone
+                // A lost duplicate is simply gone. It is not retried, so
+                // the drop ledger attributes it as "exhausted with zero
+                // retries" rather than leaving it unaccounted.
+                net.telemetry().wire.exhausted.inc();
+                return;
             }
             let retry_cnt = sender_retry_profile(net, &job).map_or(0, |p| p.retry_cnt);
             if tries >= retry_cnt {
                 // Retries exhausted: only now does the failure surface.
                 self.stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                net.telemetry().wire.exhausted.inc();
                 complete_send(net, &job, WcStatus::RetryExceeded);
                 return;
             }
             self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+            net.telemetry().wire.retransmits.inc();
             match &self.sched {
                 Some(sched) => {
                     // Sender-side timeout retransmission: the drop is
@@ -230,6 +238,7 @@ impl LossyFabric {
 
         if delay_roll < self.cfg.delay_p && self.cfg.max_delay_ns > 0 {
             self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            net.telemetry().wire.delayed.inc();
             let extra = self.rng.lock().random_range(0..self.cfg.max_delay_ns);
             job.opts.extra_wire_latency += SimDuration::from_nanos(extra);
         }

@@ -26,6 +26,7 @@ use parking_lot::Mutex;
 
 use partix_model::LogGpParams;
 use partix_sim::{Scheduler, SerialResource, SimDuration};
+use partix_telemetry::{segments_for, SpanLog};
 
 use crate::fabric::{
     complete_send, execute_delivery_ext, outcome_status, sender_retry_profile, DeliveryOutcome,
@@ -109,16 +110,37 @@ pub struct SimFabric {
     egress: Mutex<HashMap<NodeId, Arc<SerialResource>>>,
     ingress: Mutex<HashMap<NodeId, Arc<SerialResource>>>,
     stats: FabricStats,
+    /// Destination for resource busy spans once tracing is enabled; `None`
+    /// keeps the hot path span-free.
+    span_log: Mutex<Option<Arc<SpanLog>>>,
 }
+
+/// Trace-viewer thread lanes for the per-node resources; QP engines use
+/// `ENGINE_TID_BASE + qp_num`.
+const NIC_TID: u32 = 0;
+const EGRESS_TID: u32 = 1;
+const INGRESS_TID: u32 = 2;
+const ENGINE_TID_BASE: u32 = 8;
 
 fn get_or_insert<K: std::hash::Hash + Eq + Copy>(
     map: &Mutex<HashMap<K, Arc<SerialResource>>>,
     key: K,
+    span_log: &Mutex<Option<Arc<SpanLog>>>,
+    mk_span: impl FnOnce() -> (String, u32, u32),
 ) -> Arc<SerialResource> {
-    map.lock()
-        .entry(key)
-        .or_insert_with(|| Arc::new(SerialResource::new()))
-        .clone()
+    let mut m = map.lock();
+    if let Some(r) = m.get(&key) {
+        return r.clone();
+    }
+    // First use of this resource: if tracing is already on, attach the span
+    // sink now so lazily-created resources are not invisible in the trace.
+    let r = Arc::new(SerialResource::new());
+    if let Some(log) = span_log.lock().clone() {
+        let (name, pid, tid) = mk_span();
+        r.attach_span_log(log, name, pid, tid);
+    }
+    m.insert(key, r.clone());
+    r
 }
 
 impl SimFabric {
@@ -132,7 +154,42 @@ impl SimFabric {
             egress: Mutex::new(HashMap::new()),
             ingress: Mutex::new(HashMap::new()),
             stats: FabricStats::default(),
+            span_log: Mutex::new(None),
         })
+    }
+
+    /// Enable span tracing: every modelled hardware resource records its
+    /// busy intervals into `log` from now on (existing resources are
+    /// attached immediately, later-created ones at first use).
+    pub fn trace_into(&self, log: Arc<SpanLog>) {
+        *self.span_log.lock() = Some(log.clone());
+        for (node, r) in self.nic.lock().iter() {
+            r.attach_span_log(log.clone(), format!("nic[node {node}]"), *node, NIC_TID);
+        }
+        for (node, r) in self.egress.lock().iter() {
+            r.attach_span_log(
+                log.clone(),
+                format!("egress[node {node}]"),
+                *node,
+                EGRESS_TID,
+            );
+        }
+        for (node, r) in self.ingress.lock().iter() {
+            r.attach_span_log(
+                log.clone(),
+                format!("ingress[node {node}]"),
+                *node,
+                INGRESS_TID,
+            );
+        }
+        for ((node, qp), r) in self.engines.lock().iter() {
+            r.attach_span_log(
+                log.clone(),
+                format!("qp_engine[node {node}, qp {qp}]"),
+                *node,
+                ENGINE_TID_BASE + *qp,
+            );
+        }
     }
 
     /// The parameters in force.
@@ -204,9 +261,16 @@ impl Fabric for SimFabric {
         let sw_ready = job.opts.earliest.unwrap_or(now).max(now);
         let doorbell = sw_ready + SimDuration::from_nanos_f64(p.loggp.o_s);
 
+        let wire_counters = &net.telemetry().wire;
+        wire_counters.inner_submissions.inc();
+
         // Per-node WQE processing path (shared by all QPs of the node).
-        let packets = (bytes as usize).div_ceil(p.mtu).max(1) as u64;
-        let nic = get_or_insert(&self.nic, job.src_node);
+        let packets = segments_for(bytes, p.mtu);
+        wire_counters.mtu_segments.add(packets);
+        let src_node = job.src_node;
+        let nic = get_or_insert(&self.nic, job.src_node, &self.span_log, || {
+            (format!("nic[node {src_node}]"), src_node, NIC_TID)
+        });
         let wqe = if job.opts.small_lane {
             p.inline_wqe_overhead_ns
         } else {
@@ -216,15 +280,32 @@ impl Fabric for SimFabric {
         let (_, nic_done) = nic.reserve(doorbell, nic_cost);
 
         // Per-QP DMA engine pacing the payload.
-        let engine = get_or_insert(&self.engines, (job.src_node, job.src_qp));
+        let src_qp = job.src_qp;
+        let engine = get_or_insert(
+            &self.engines,
+            (job.src_node, job.src_qp),
+            &self.span_log,
+            || {
+                (
+                    format!("qp_engine[node {src_node}, qp {src_qp}]"),
+                    src_node,
+                    ENGINE_TID_BASE + src_qp,
+                )
+            },
+        );
         let engine_cost = SimDuration::from_nanos_f64(bytes as f64 * p.qp_g());
         let (_, engine_done) = engine.reserve(nic_done, engine_cost);
 
         // Shared link occupancy at full rate (egress then ingress).
         let wire_cost = SimDuration::from_nanos_f64(bytes as f64 * p.link_g());
-        let egress = get_or_insert(&self.egress, job.src_node);
+        let egress = get_or_insert(&self.egress, job.src_node, &self.span_log, || {
+            (format!("egress[node {src_node}]"), src_node, EGRESS_TID)
+        });
         let (_, egress_done) = egress.reserve(nic_done, wire_cost);
-        let ingress = get_or_insert(&self.ingress, job.dst_node);
+        let dst_node = job.dst_node;
+        let ingress = get_or_insert(&self.ingress, job.dst_node, &self.span_log, || {
+            (format!("ingress[node {dst_node}]"), dst_node, INGRESS_TID)
+        });
         let (_, ingress_done) = ingress.reserve(nic_done, wire_cost);
 
         let wire_end = engine_done.max(egress_done).max(ingress_done);
@@ -267,6 +348,7 @@ fn deliver_with_rnr_retry(
     if matches!(outcome, DeliveryOutcome::ReceiverNotReady) {
         if let Some(profile) = sender_retry_profile(net, &job) {
             if attempt < profile.rnr_retry {
+                net.telemetry().wire.rnr_requeues.inc();
                 let wait = SimDuration::from_nanos(profile.min_rnr_timer_ns.max(1));
                 let sched2 = sched.clone();
                 let net2 = net.clone();

@@ -80,6 +80,10 @@ pub use fabric_lossy::{LossyConfig, LossyFabric};
 pub use fabric_sim::{FabricParams, ResourceUtilization, SimFabric};
 pub use memory::MemoryRegion;
 pub use network::{connect_pair, Context, Network, NetworkState, NodeCtx, ProtectionDomain};
+pub use partix_telemetry as telemetry;
+pub use partix_telemetry::{
+    invariants, CqCounters, QpCounters, Registry, Snapshot, SpanEvent, SpanLog, WireCounters,
+};
 pub use qp::{PeerId, QpCaps, QueuePair, RetryProfile};
 pub use types::{
     imm, NodeId, Opcode, QpState, RecvWr, SendWr, Sge, WcOpcode, WcStatus, WorkCompletion,

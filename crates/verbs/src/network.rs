@@ -11,6 +11,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use partix_telemetry::{QpSnapshot, Registry, Snapshot};
+
 use crate::cq::CompletionQueue;
 use crate::error::{Result, VerbsError};
 use crate::fabric::Fabric;
@@ -61,6 +63,7 @@ pub struct NetworkState {
     next_qp_num: AtomicU32,
     next_cq_id: AtomicU32,
     next_pd_id: AtomicU32,
+    telemetry: Arc<Registry>,
 }
 
 impl NetworkState {
@@ -75,6 +78,49 @@ impl NetworkState {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The telemetry registry every layer of this network reports into.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
+    /// Freeze the complete telemetry ledger: per-QP counters are read
+    /// alongside each QP's live state (outstanding slots, receive depth,
+    /// state machine position), plus every CQ, the wire, and the runtime.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut qps = Vec::new();
+        for node in &self.nodes {
+            let map = node.qps.read();
+            let mut nums: Vec<u32> = map.keys().copied().collect();
+            nums.sort_unstable();
+            for num in nums {
+                let qp = &map[&num];
+                let c = qp.counters();
+                qps.push(QpSnapshot {
+                    node: node.id,
+                    qp_num: num,
+                    state: qp.state().name(),
+                    outstanding: qp.outstanding() as u64,
+                    recv_queue_depth: qp.recv_queue_depth() as u64,
+                    send_posted: c.send_posted.get(),
+                    recv_posted: c.recv_posted.get(),
+                    recv_consumed: c.recv_consumed.get(),
+                    completed_success: c.completed_success.get(),
+                    completed_error: c.completed_error.get(),
+                    bytes_posted: c.bytes_posted.get(),
+                    bytes_completed: c.bytes_completed.get(),
+                    recoveries: c.recoveries.get(),
+                    slot_underflows: c.slot_underflows.get(),
+                });
+            }
+        }
+        Snapshot {
+            qps,
+            cqs: self.telemetry.cq_snapshots(),
+            wire: self.telemetry.wire_snapshot(),
+            runtime: self.telemetry.runtime_snapshot(),
+        }
     }
 }
 
@@ -93,6 +139,7 @@ impl Network {
             next_qp_num: AtomicU32::new(1),
             next_cq_id: AtomicU32::new(1),
             next_pd_id: AtomicU32::new(1),
+            telemetry: Arc::new(Registry::new()),
         });
         Network { state, fabric }
     }
@@ -173,7 +220,11 @@ impl Context {
 
     /// Create a completion queue (`ibv_create_cq`).
     pub fn create_cq(&self) -> Arc<CompletionQueue> {
-        CompletionQueue::new(self.state.next_cq_id.fetch_add(1, Ordering::Relaxed))
+        let cq = CompletionQueue::new(self.state.next_cq_id.fetch_add(1, Ordering::Relaxed));
+        self.state
+            .telemetry
+            .register_cq(cq.id(), cq.counters().clone());
+        cq
     }
 
     /// Create a queue pair (`ibv_create_qp`).

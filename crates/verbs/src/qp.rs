@@ -11,6 +11,8 @@ use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
+use partix_telemetry::QpCounters;
+
 use crate::cq::CompletionQueue;
 use crate::error::{Result, VerbsError};
 use crate::fabric::{Fabric, PostOptions, ResolvedSegment, TransferJob};
@@ -131,6 +133,9 @@ pub struct QueuePair {
     applied_psns: Mutex<std::collections::HashSet<(u32, u64)>>,
     net: Weak<NetworkState>,
     fabric: Arc<dyn Fabric>,
+    /// Telemetry ledger for this QP; walked by the network when it builds
+    /// a snapshot.
+    counters: Arc<QpCounters>,
 }
 
 impl QueuePair {
@@ -163,7 +168,13 @@ impl QueuePair {
             applied_psns: Mutex::new(std::collections::HashSet::new()),
             net,
             fabric,
+            counters: Arc::new(QpCounters::default()),
         })
+    }
+
+    /// This QP's telemetry ledger.
+    pub fn counters(&self) -> &Arc<QpCounters> {
+        &self.counters
     }
 
     /// QP number (unique within the network).
@@ -313,13 +324,18 @@ impl QueuePair {
         }
         q.push_back(wr);
         self.posted_recvs.fetch_add(1, Ordering::Relaxed);
+        self.counters.recv_posted.inc();
         Ok(())
     }
 
     /// Consume the oldest posted receive WR (fabric-internal, for
     /// write-with-immediate delivery).
     pub(crate) fn take_recv(&self) -> Option<RecvWr> {
-        self.recv_queue.lock().pop_front()
+        let wr = self.recv_queue.lock().pop_front();
+        if wr.is_some() {
+            self.counters.recv_consumed.inc();
+        }
+        wr
     }
 
     /// Depth of the posted receive queue.
@@ -415,6 +431,8 @@ impl QueuePair {
             });
         }
         self.posted_sends.fetch_add(1, Ordering::Relaxed);
+        self.counters.send_posted.inc();
+        self.counters.bytes_posted.add(total);
 
         let mut opts = opts;
         if wr.inline_data {
@@ -443,8 +461,22 @@ impl QueuePair {
     }
 
     /// Release an outstanding-WR slot (fabric-internal, at send completion).
+    ///
+    /// A release against an already-zero count would mean a completion
+    /// fired for a WR that never claimed a slot (or fired twice). Rather
+    /// than wrapping the counter — which would silently widen the cap and
+    /// poison every later ledger — the release saturates at zero and the
+    /// underflow is recorded, turning the bug into a telemetry invariant
+    /// violation.
     pub(crate) fn release_send_slot(&self) {
-        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev > 0, "send-slot accounting underflow");
+        let claimed = self
+            .outstanding
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                cur.checked_sub(1)
+            });
+        if claimed.is_err() {
+            self.counters.slot_underflows.inc();
+            debug_assert!(false, "send-slot accounting underflow");
+        }
     }
 }

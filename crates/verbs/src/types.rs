@@ -188,6 +188,17 @@ impl QpState {
                 | (_, Reset)
         )
     }
+
+    /// Short conventional name, as used in telemetry snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            QpState::Reset => "RESET",
+            QpState::Init => "INIT",
+            QpState::ReadyToReceive => "RTR",
+            QpState::ReadyToSend => "RTS",
+            QpState::Error => "ERROR",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -58,8 +58,12 @@ pub mod perceived;
 pub mod runner;
 pub mod stats;
 pub mod sweep;
+pub mod traced;
 pub mod tuning_search;
 
 pub use fault_sweep::{FaultCell, FaultSweep};
 pub use noise::{NoiseModel, ThreadTiming};
-pub use runner::{run_pt2pt, run_pt2pt_with_sink, Pt2PtConfig, Pt2PtResult, RoundSample};
+pub use runner::{
+    run_pt2pt, run_pt2pt_observed, run_pt2pt_with_sink, Pt2PtConfig, Pt2PtResult, RoundSample,
+};
+pub use traced::{run_traced, TraceArtifacts};

@@ -217,15 +217,22 @@ impl Driver {
     }
 }
 
-/// Run a point-to-point experiment on a fresh simulated world. Install
-/// `sink` (e.g. a profiler) before any event fires, when provided.
-pub fn run_pt2pt_with_sink(
+/// Run a point-to-point experiment on a fresh simulated world, returning
+/// the world alongside the result so callers can inspect post-run state
+/// (telemetry ledger, fabric statistics). Install `sink` (e.g. a profiler)
+/// before any event fires, when provided; `span_log`, when provided, turns
+/// on resource span tracing for the whole run.
+pub fn run_pt2pt_observed(
     cfg: &Pt2PtConfig,
     sink: Option<Arc<dyn partix_core::EventSink>>,
-) -> Pt2PtResult {
+    span_log: Option<Arc<partix_core::SpanLog>>,
+) -> (Pt2PtResult, World) {
     let (world, sched) = World::sim(2, cfg.partix.clone());
     if let Some(s) = sink {
         world.set_event_sink(s);
+    }
+    if let Some(log) = span_log {
+        world.enable_tracing(log);
     }
     let p0 = world.proc(0);
     let p1 = world.proc(1);
@@ -276,7 +283,7 @@ pub fn run_pt2pt_with_sink(
         .lossy_fabric()
         .map(|l| (l.dropped(), l.retransmits(), l.duplicated()))
         .unwrap_or((0, 0, 0));
-    Pt2PtResult {
+    let result = Pt2PtResult {
         rounds,
         total_wrs: send.total_wrs_posted(),
         send_req_id: send.id(),
@@ -286,7 +293,16 @@ pub fn run_pt2pt_with_sink(
         duplicates,
         recoveries: send.recoveries(),
         error: send.error(),
-    }
+    };
+    (result, world)
+}
+
+/// [`run_pt2pt_observed`] keeping only the result.
+pub fn run_pt2pt_with_sink(
+    cfg: &Pt2PtConfig,
+    sink: Option<Arc<dyn partix_core::EventSink>>,
+) -> Pt2PtResult {
+    run_pt2pt_observed(cfg, sink, None).0
 }
 
 /// [`run_pt2pt_with_sink`] without instrumentation.

@@ -1,0 +1,120 @@
+//! Fully-observed experiment runs: telemetry snapshot + invariant report +
+//! chrome-trace spans from one workload execution.
+//!
+//! This is the `--trace` backend of the benchmark binaries: run a workload
+//! with the profiler and resource span tracing attached, freeze the
+//! telemetry ledger at quiescence, reconcile it against the conservation
+//! laws, and (optionally) write `telemetry.json` and a chrome-trace
+//! `trace.json` next to the other result artifacts. Open the trace file at
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use partix_core::telemetry::{write_chrome_trace, write_telemetry_json};
+use partix_core::{invariants, Snapshot, SpanEvent, SpanLog};
+use partix_profiler::{chrome_spans, Profiler};
+
+use crate::runner::{run_pt2pt_observed, Pt2PtConfig, Pt2PtResult};
+
+/// Everything one traced run produces.
+pub struct TraceArtifacts {
+    /// The workload result itself.
+    pub result: Pt2PtResult,
+    /// Telemetry ledger frozen at quiescence.
+    pub snapshot: Snapshot,
+    /// The conservation-law reconciliation of that snapshot.
+    pub report: invariants::Report,
+    /// Merged span timeline: fabric resource occupancy plus profiler
+    /// round/partition phases, sorted by start time.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl TraceArtifacts {
+    /// Write `telemetry.json` (ledger + invariant verdict) and
+    /// `trace.json` (chrome-trace) into `dir`, creating it if needed.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        write_telemetry_json(&dir.join("telemetry.json"), &self.snapshot, &self.report)?;
+        write_chrome_trace(&dir.join("trace.json"), &self.spans)
+    }
+}
+
+/// Run `cfg` with full observability attached.
+pub fn run_traced(cfg: &Pt2PtConfig) -> TraceArtifacts {
+    let profiler = Arc::new(Profiler::new());
+    let log = SpanLog::new();
+    let (result, world) = run_pt2pt_observed(cfg, Some(profiler.clone()), Some(log.clone()));
+    let snapshot = world.telemetry_snapshot();
+    let report = invariants::check(&snapshot);
+    let mut spans = log.sorted();
+    spans.extend(chrome_spans(&profiler));
+    spans.sort_by_key(|s| (s.ts_ns, s.pid, s.tid));
+    TraceArtifacts {
+        result,
+        snapshot,
+        report,
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::ThreadTiming;
+    use partix_core::{AggregatorKind, PartixConfig};
+
+    fn cfg(kind: AggregatorKind) -> Pt2PtConfig {
+        let mut partix = PartixConfig::with_aggregator(kind);
+        partix.fabric.copy_data = false;
+        Pt2PtConfig {
+            partix,
+            partitions: 8,
+            part_bytes: 4096,
+            warmup: 1,
+            iters: 3,
+            timing: ThreadTiming::overhead(),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn traced_run_is_clean_and_produces_spans() {
+        let art = run_traced(&cfg(AggregatorKind::TimerPLogGp));
+        assert_eq!(art.result.rounds.len(), 3);
+        art.report.assert_clean();
+        // Fabric resources and profiler rounds both land in the timeline.
+        assert!(art.spans.iter().any(|s| s.cat == "resource"));
+        assert!(art.spans.iter().any(|s| s.cat == "round"));
+        assert!(art.spans.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // The ledger saw the workload: 8 partitions x 4 rounds.
+        assert_eq!(art.snapshot.runtime.preadys, 32);
+        assert!(art.snapshot.wire.delivered > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let c = cfg(AggregatorKind::PLogGp);
+        let plain = crate::runner::run_pt2pt(&c);
+        let traced = run_traced(&c);
+        let t1: Vec<u64> = plain.rounds.iter().map(|r| r.total().as_nanos()).collect();
+        let t2: Vec<u64> = traced
+            .result
+            .rounds
+            .iter()
+            .map(|r| r.total().as_nanos())
+            .collect();
+        assert_eq!(t1, t2, "observability must not perturb virtual time");
+    }
+
+    #[test]
+    fn artifacts_write_valid_files() {
+        let art = run_traced(&cfg(AggregatorKind::Persistent));
+        let dir = std::env::temp_dir().join(format!("partix-trace-test-{}", std::process::id()));
+        art.write_to(&dir).unwrap();
+        let tel = std::fs::read_to_string(dir.join("telemetry.json")).unwrap();
+        assert!(tel.contains("\"clean\": true"));
+        let tr = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(tr.contains("\"traceEvents\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

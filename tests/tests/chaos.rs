@@ -137,6 +137,23 @@ fn run_chaos(kind: AggregatorKind, seed: u64, drop_p: f64, rounds: u64) -> Chaos
     send.on_ready(move || d2.start_round());
     sched.run();
     let lossy = world.lossy_fabric().expect("lossy wire installed");
+    // Counter conservation after every chaotic scenario: the telemetry
+    // ledger must reconcile, and its wire counters must mirror the loss
+    // model's own books exactly — a drop, retransmit, or ghost that one
+    // side saw and the other didn't means an accounting hole.
+    let snap = world.telemetry_snapshot();
+    partix_core::invariants::check(&snap).assert_clean();
+    assert_eq!(snap.wire.dropped, lossy.dropped(), "drop ledger mismatch");
+    assert_eq!(
+        snap.wire.retransmits,
+        lossy.retransmits(),
+        "retransmit ledger mismatch"
+    );
+    assert_eq!(
+        snap.wire.duplicates_injected,
+        lossy.duplicated(),
+        "duplicate ledger mismatch"
+    );
     let completion_times = std::mem::take(&mut *driver.completions.lock());
     ChaosOutcome {
         completed_rounds: driver.round.load(Ordering::Acquire),
@@ -248,6 +265,9 @@ fn zero_retries_preserve_first_loss_failure() {
         "loss must be attributed to exhaustion"
     );
     assert_eq!(lossy.retransmits(), 0, "retry_cnt = 0 means no retransmits");
+    // Even a failed round leaves a reconciled ledger: every drop is
+    // attributed (law 7) and the error completions balance the posts.
+    world.check_invariants().assert_clean();
 }
 
 /// The halo application pattern (16 ranks, 64 concurrent channels) runs to

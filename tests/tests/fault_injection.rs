@@ -58,6 +58,12 @@ fn injected_fault_poisons_the_send_request() {
             "partition {ok} should have arrived"
         );
     }
+    // The poisoned round still leaves a reconciled ledger: the injected
+    // fault is attributed on the wire and the error completion balances
+    // the posts.
+    let snap = world.telemetry_snapshot();
+    assert_eq!(snap.wire.injected_faults, faulty.injected());
+    partix_core::invariants::check(&snap).assert_clean();
 }
 
 #[test]
@@ -94,6 +100,7 @@ fn clean_rounds_before_the_fault_are_unaffected() {
         send.pready(i).unwrap();
     }
     assert!(send.wait().is_err());
+    world.check_invariants().assert_clean();
 }
 
 #[test]
@@ -124,6 +131,7 @@ fn aggregated_fault_loses_the_whole_group() {
     }
     assert!(send.wait().is_err());
     assert_eq!(recv.arrived_count(), 0, "nothing arrived");
+    world.check_invariants().assert_clean();
 }
 
 #[test]
@@ -163,6 +171,11 @@ fn posting_onto_a_dead_qp_retires_the_wr_and_terminates() {
     assert_eq!(faulty.submitted(), 1);
     assert_eq!(faulty.injected(), 1);
     assert_eq!(recv.arrived_count(), 0);
+    // Software-retired WRs (rejected by the dead QP) never touched the
+    // wire and must not appear anywhere in the wire ledger.
+    let snap = world.telemetry_snapshot();
+    assert_eq!(snap.wire.injected_faults, 1);
+    partix_core::invariants::check(&snap).assert_clean();
 }
 
 #[test]
@@ -204,4 +217,10 @@ fn qp_recovery_absorbs_an_injected_fault() {
             "partition {i} bytes"
         );
     }
+    // Recovery accounting: one injected fault, one error completion, one
+    // QP recovery — and a ledger that still balances to zero leaks.
+    let snap = world.telemetry_snapshot();
+    assert_eq!(snap.wire.injected_faults, 1);
+    assert_eq!(snap.qps.iter().map(|q| q.recoveries).sum::<u64>(), 1);
+    partix_core::invariants::check(&snap).assert_clean();
 }

@@ -1,0 +1,267 @@
+//! QP state-machine conformance: every one of the 25 `(from, to)` pairs of
+//! the RESET → INIT → RTR → RTS → ERROR machine is exercised against a
+//! fresh queue pair. Legal transitions must succeed and land in the target
+//! state; illegal ones must return `VerbsError::InvalidTransition` with the
+//! exact offending pair and leave the QP untouched.
+//!
+//! The legal set is written out here independently of the implementation's
+//! `can_transition_to`, so a regression in either direction (a transition
+//! wrongly allowed, or wrongly rejected) fails the suite.
+
+use std::sync::Arc;
+
+use partix_verbs::{
+    connect_pair, Context, InstantFabric, Network, Opcode, PeerId, QpCaps, QpState, QueuePair,
+    RecvWr, SendWr, Sge, VerbsError,
+};
+
+const STATES: [QpState; 5] = [
+    QpState::Reset,
+    QpState::Init,
+    QpState::ReadyToReceive,
+    QpState::ReadyToSend,
+    QpState::Error,
+];
+
+/// The specification's transition matrix (libibverbs RC semantics as the
+/// paper's runtime uses them): the forward setup chain RESET → INIT → RTR
+/// → RTS, plus "any state may be torn down to RESET" and "any state may
+/// fault to ERROR".
+fn legal(from: QpState, to: QpState) -> bool {
+    matches!(
+        (from, to),
+        (QpState::Reset, QpState::Init)
+            | (QpState::Init, QpState::ReadyToReceive)
+            | (QpState::ReadyToReceive, QpState::ReadyToSend)
+            | (_, QpState::Error)
+            | (_, QpState::Reset)
+    )
+}
+
+/// A fresh single-node network with one QP (self-loop peer is irrelevant:
+/// state transitions never touch the wire).
+fn fresh_qp() -> (Context, Arc<QueuePair>) {
+    let net = Network::new(1, InstantFabric::new());
+    let ctx = net.open(0).unwrap();
+    let pd = ctx.alloc_pd();
+    let qp = ctx
+        .create_qp(pd, ctx.create_cq(), ctx.create_cq(), QpCaps::default())
+        .unwrap();
+    (ctx, qp)
+}
+
+/// Drive a fresh QP into `target` via the setup chain.
+fn qp_in_state(target: QpState) -> (Context, Arc<QueuePair>) {
+    let (ctx, qp) = fresh_qp();
+    let chain: &[QpState] = match target {
+        QpState::Reset => &[],
+        QpState::Init => &[QpState::Init],
+        QpState::ReadyToReceive => &[QpState::Init, QpState::ReadyToReceive],
+        QpState::ReadyToSend => &[QpState::Init, QpState::ReadyToReceive, QpState::ReadyToSend],
+        QpState::Error => &[QpState::Error],
+    };
+    for &s in chain {
+        qp.modify(s).unwrap_or_else(|e| panic!("setup {s:?}: {e}"));
+    }
+    assert_eq!(qp.state(), target, "setup chain failed");
+    (ctx, qp)
+}
+
+/// The exhaustive 25-pair sweep.
+#[test]
+fn all_25_transition_pairs_conform() {
+    let mut legal_seen = 0;
+    let mut illegal_seen = 0;
+    for from in STATES {
+        for to in STATES {
+            let (_ctx, qp) = qp_in_state(from);
+            let res = qp.modify(to);
+            if legal(from, to) {
+                legal_seen += 1;
+                assert!(res.is_ok(), "{from:?} -> {to:?} must be legal, got {res:?}");
+                assert_eq!(qp.state(), to, "{from:?} -> {to:?} landed wrong");
+            } else {
+                illegal_seen += 1;
+                match res {
+                    Err(VerbsError::InvalidTransition { from: f, to: t }) => {
+                        assert_eq!((f, t), (from, to), "error payload mismatch");
+                    }
+                    other => panic!("{from:?} -> {to:?} must be InvalidTransition, got {other:?}"),
+                }
+                assert_eq!(
+                    qp.state(),
+                    from,
+                    "a rejected transition must not change state"
+                );
+            }
+        }
+    }
+    // The matrix itself: 3 forward edges + 5 teardowns + 5 faults = 13
+    // legal (RESET and ERROR self-loops counted once each), 12 illegal.
+    assert_eq!(legal_seen, 13);
+    assert_eq!(illegal_seen, 12);
+}
+
+/// The `modify_to_rtr` / `modify_to_rts` wrappers enforce the same machine
+/// as the raw `modify` they delegate to.
+#[test]
+fn rtr_rts_wrappers_enforce_the_machine() {
+    let peer = PeerId { node: 0, qp_num: 1 };
+
+    // RTR straight from RESET skips INIT: rejected, and no peer recorded.
+    let (_ctx, qp) = qp_in_state(QpState::Reset);
+    assert!(matches!(
+        qp.modify_to_rtr(peer),
+        Err(VerbsError::InvalidTransition {
+            from: QpState::Reset,
+            to: QpState::ReadyToReceive,
+        })
+    ));
+    assert_eq!(qp.state(), QpState::Reset);
+
+    // RTS straight from INIT skips RTR: rejected.
+    let (_ctx, qp) = qp_in_state(QpState::Init);
+    assert!(matches!(
+        qp.modify_to_rts(),
+        Err(VerbsError::InvalidTransition {
+            from: QpState::Init,
+            to: QpState::ReadyToSend,
+        })
+    ));
+
+    // The legal chain through the wrappers works end to end.
+    let (_ctx, qp) = qp_in_state(QpState::Init);
+    qp.modify_to_rtr(peer).unwrap();
+    qp.modify_to_rts().unwrap();
+    assert_eq!(qp.state(), QpState::ReadyToSend);
+}
+
+/// After a fault, the only way forward is the full teardown chain — exactly
+/// the recovery cycle `recover_qp` performs.
+#[test]
+fn error_recovers_only_through_reset() {
+    let (_ctx, qp) = qp_in_state(QpState::Error);
+    for to in [QpState::Init, QpState::ReadyToReceive, QpState::ReadyToSend] {
+        assert!(
+            matches!(qp.modify(to), Err(VerbsError::InvalidTransition { .. })),
+            "ERROR -> {to:?} must be rejected"
+        );
+    }
+    qp.modify(QpState::Reset).unwrap();
+    qp.modify(QpState::Init).unwrap();
+    qp.modify_to_rtr(PeerId { node: 0, qp_num: 1 }).unwrap();
+    qp.modify_to_rts().unwrap();
+    assert_eq!(qp.state(), QpState::ReadyToSend);
+}
+
+/// Work-request posting is gated on the state machine: sends need RTS,
+/// receives need at least INIT.
+#[test]
+fn posting_is_gated_on_state() {
+    let net = Network::new(2, InstantFabric::new());
+    let a = net.open(0).unwrap();
+    let b = net.open(1).unwrap();
+    let (pda, pdb) = (a.alloc_pd(), b.alloc_pd());
+    let qa = a
+        .create_qp(pda, a.create_cq(), a.create_cq(), QpCaps::default())
+        .unwrap();
+    let qb = b
+        .create_qp(pdb, b.create_cq(), b.create_cq(), QpCaps::default())
+        .unwrap();
+    let src = a.reg_mr(pda, 64).unwrap();
+    let dst = b.reg_mr(pdb, 64).unwrap();
+    let send_wr = || SendWr {
+        wr_id: 0,
+        opcode: Opcode::RdmaWriteWithImm,
+        sg_list: vec![Sge {
+            addr: src.addr(),
+            length: 64,
+            lkey: src.lkey(),
+        }],
+        remote_addr: dst.addr(),
+        rkey: dst.rkey(),
+        imm: Some(0),
+        inline_data: false,
+    };
+
+    // RESET: both directions rejected with the honest state report.
+    assert!(matches!(
+        qa.post_send(send_wr()),
+        Err(VerbsError::InvalidQpState {
+            actual: QpState::Reset,
+            required: QpState::ReadyToSend,
+        })
+    ));
+    assert!(matches!(
+        qb.post_recv(RecvWr::bare(0)),
+        Err(VerbsError::InvalidQpState {
+            actual: QpState::Reset,
+            ..
+        })
+    ));
+
+    // INIT: receives become legal (pre-posting before RTR is the idiomatic
+    // verbs setup order); sends are still rejected.
+    qa.modify(QpState::Init).unwrap();
+    qb.modify(QpState::Init).unwrap();
+    qb.post_recv(RecvWr::bare(0)).unwrap();
+    assert!(matches!(
+        qa.post_send(send_wr()),
+        Err(VerbsError::InvalidQpState {
+            actual: QpState::Init,
+            required: QpState::ReadyToSend,
+        })
+    ));
+
+    // Fully connected: the send goes through and none of the rejected
+    // posts above leaked a slot or a recv entry.
+    qa.modify_to_rtr(PeerId {
+        node: qb.node(),
+        qp_num: qb.qp_num(),
+    })
+    .unwrap();
+    qb.modify_to_rtr(PeerId {
+        node: qa.node(),
+        qp_num: qa.qp_num(),
+    })
+    .unwrap();
+    qa.modify_to_rts().unwrap();
+    qb.modify_to_rts().unwrap();
+    qa.post_send(send_wr()).unwrap();
+    assert_eq!(
+        qa.outstanding(),
+        0,
+        "instant fabric completes synchronously"
+    );
+    assert_eq!(qb.recv_queue_depth(), 0, "the one recv WR was consumed");
+
+    // The rejected posts must not have been counted as accepted work: the
+    // ledger still reconciles.
+    partix_verbs::invariants::check(&net.state().telemetry_snapshot()).assert_clean();
+}
+
+/// `connect_pair` is the canonical legal walk; doing it twice must fail at
+/// the first re-walked edge without corrupting the established state.
+#[test]
+fn double_connect_is_rejected_cleanly() {
+    let net = Network::new(2, InstantFabric::new());
+    let a = net.open(0).unwrap();
+    let b = net.open(1).unwrap();
+    let (pda, pdb) = (a.alloc_pd(), b.alloc_pd());
+    let qa = a
+        .create_qp(pda, a.create_cq(), a.create_cq(), QpCaps::default())
+        .unwrap();
+    let qb = b
+        .create_qp(pdb, b.create_cq(), b.create_cq(), QpCaps::default())
+        .unwrap();
+    connect_pair(&qa, &qb).unwrap();
+    assert!(matches!(
+        connect_pair(&qa, &qb),
+        Err(VerbsError::InvalidTransition {
+            from: QpState::ReadyToSend,
+            to: QpState::Init,
+        })
+    ));
+    assert_eq!(qa.state(), QpState::ReadyToSend, "still connected");
+    assert_eq!(qb.state(), QpState::ReadyToSend);
+}
