@@ -4,13 +4,76 @@
 //! pready fast path, and full partitioned rounds.
 //!
 //! Writes all measurements to `BENCH_hotpath.json` (override the path with
-//! the `BENCH_JSON` environment variable). Run with `-- --test` for a
-//! one-iteration smoke pass, as CI does.
+//! the `BENCH_JSON` environment variable), and the `dataplane` group —
+//! ns/op *and* allocations/op of the zero-copy data plane against a replica
+//! of the previous per-`Vec` design — to `BENCH_dataplane.json` (override
+//! with `BENCH_DATAPLANE_JSON`). Run with `-- --test` for a one-iteration
+//! smoke pass, as CI does; the allocation gate (new path ≥25% fewer
+//! allocations per message) holds in smoke mode too, because allocation
+//! counts are deterministic.
 
 use criterion::Criterion;
 use partix_core::{AggregatorKind, PartixConfig, World};
 use partix_sim::{Scheduler, SimDuration, SimTime};
 use std::hint::black_box;
+
+/// Counting wrapper around the system allocator, gated by a flag so the
+/// rest of the benchmark binary runs at full speed (one relaxed load per
+/// allocation when idle).
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static COUNTING: AtomicBool = AtomicBool::new(false);
+
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            if COUNTING.load(Ordering::Relaxed) {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            if COUNTING.load(Ordering::Relaxed) {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            if COUNTING.load(Ordering::Relaxed) {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+    /// Heap allocations per call of `f`, measured over `iters` calls after
+    /// a short warm-up (so pools and map capacity are already populated).
+    pub fn allocs_per_op(f: &mut impl FnMut(), iters: u64) -> f64 {
+        for _ in 0..4 {
+            f();
+        }
+        ALLOCS.store(0, Ordering::Relaxed);
+        COUNTING.store(true, Ordering::Relaxed);
+        for _ in 0..iters {
+            f();
+        }
+        COUNTING.store(false, Ordering::Relaxed);
+        ALLOCS.load(Ordering::Relaxed) as f64 / iters as f64
+    }
+}
 
 /// The previous event-queue design, kept here as a measured baseline: one
 /// boxed closure per event in a mutex-guarded binary heap, with peek+pop
@@ -287,6 +350,169 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// One partitioned message: 16 RDMA-write WRs over an instant fabric.
+const DP_PARTS: usize = 16;
+
+/// The zero-copy data plane: pooled WR shells updated in place, one
+/// `post_send_batch` slot claim per message, completions drained into a
+/// reused scratch vector, and the wire moving bytes MR→MR directly.
+fn dataplane_new_round(msg: usize) -> impl FnMut() {
+    use partix_verbs::{
+        connect_pair, InstantFabric, Network, Opcode, PostOptions, QpCaps, SendWr, Sge,
+    };
+    let pb = msg / DP_PARTS;
+    let net = Network::new(2, InstantFabric::new());
+    let a = net.open(0).unwrap();
+    let b = net.open(1).unwrap();
+    let (pda, pdb) = (a.alloc_pd(), b.alloc_pd());
+    let cqa = a.create_cq();
+    let qa = a
+        .create_qp(pda, cqa.clone(), a.create_cq(), QpCaps::default())
+        .unwrap();
+    let qb = b
+        .create_qp(pdb, b.create_cq(), b.create_cq(), QpCaps::default())
+        .unwrap();
+    connect_pair(&qa, &qb).unwrap();
+    let src = a.reg_mr(pda, msg).unwrap();
+    let dst = b.reg_mr(pdb, msg).unwrap();
+    src.fill(0, msg, 0x5A).unwrap();
+    let mut wrs: Vec<SendWr> = (0..DP_PARTS)
+        .map(|i| SendWr {
+            wr_id: i as u64,
+            opcode: Opcode::RdmaWrite,
+            sg_list: vec![Sge {
+                addr: src.addr_at(i * pb),
+                length: pb as u32,
+                lkey: src.lkey(),
+            }],
+            remote_addr: dst.addr() + (i * pb) as u64,
+            rkey: dst.rkey(),
+            imm: None,
+            inline_data: false,
+        })
+        .collect();
+    let mut scratch = Vec::with_capacity(DP_PARTS);
+    let mut next_id = DP_PARTS as u64;
+    // QPs hold the network weakly; the closure keeps it (and the passive
+    // side) alive for the benchmark's lifetime.
+    let keep = (net, qb);
+    move || {
+        black_box(&keep);
+        for wr in wrs.iter_mut() {
+            wr.wr_id = next_id;
+            next_id += 1;
+        }
+        let granted = qa.post_send_batch(&wrs, PostOptions::default()).unwrap();
+        assert_eq!(
+            granted, DP_PARTS,
+            "instant fabric frees slots synchronously"
+        );
+        scratch.clear();
+        while scratch.len() < DP_PARTS {
+            cqa.poll_cq_into(&mut scratch, DP_PARTS);
+        }
+        black_box(scratch.len());
+    }
+}
+
+/// Measured baseline replicating the previous data plane's per-message
+/// shape: every WR is a fresh `SendWr` with its own `sg_list` vector,
+/// cloned once into an in-flight image map and once onto the wire, posted
+/// one at a time (one slot claim each), and the wire copy is staged
+/// through a freshly allocated `Vec` (the old `read_vec` hop).
+fn dataplane_legacy_replica_round(msg: usize) -> impl FnMut() {
+    use partix_verbs::{connect_pair, InstantFabric, Network, Opcode, QpCaps, SendWr, Sge};
+    use std::collections::HashMap;
+    let pb = msg / DP_PARTS;
+    let net = Network::new(2, InstantFabric::new());
+    let a = net.open(0).unwrap();
+    let b = net.open(1).unwrap();
+    let (pda, pdb) = (a.alloc_pd(), b.alloc_pd());
+    let cqa = a.create_cq();
+    let qa = a
+        .create_qp(pda, cqa.clone(), a.create_cq(), QpCaps::default())
+        .unwrap();
+    let qb = b
+        .create_qp(pdb, b.create_cq(), b.create_cq(), QpCaps::default())
+        .unwrap();
+    connect_pair(&qa, &qb).unwrap();
+    let src = a.reg_mr(pda, msg).unwrap();
+    let dst = b.reg_mr(pdb, msg).unwrap();
+    src.fill(0, msg, 0x5A).unwrap();
+    let mut inflight: HashMap<u64, SendWr> = HashMap::new();
+    let mut scratch = Vec::with_capacity(DP_PARTS);
+    let mut next_id = 0u64;
+    let keep = (net, qb);
+    move || {
+        black_box(&keep);
+        for i in 0..DP_PARTS {
+            let off = i * pb;
+            // The old wire staged every transfer through a heap buffer.
+            let staged = src.read_vec(off, pb).unwrap();
+            black_box(staged.as_ptr());
+            drop(staged);
+            let wr = SendWr {
+                wr_id: next_id,
+                opcode: Opcode::RdmaWrite,
+                sg_list: vec![Sge {
+                    addr: src.addr_at(off),
+                    length: pb as u32,
+                    lkey: src.lkey(),
+                }],
+                remote_addr: dst.addr() + off as u64,
+                rkey: dst.rkey(),
+                imm: None,
+                inline_data: false,
+            };
+            next_id += 1;
+            inflight.insert(wr.wr_id, wr.clone());
+            qa.post_send(wr.clone()).unwrap();
+            drop(wr);
+        }
+        scratch.clear();
+        while scratch.len() < DP_PARTS {
+            cqa.poll_cq_into(&mut scratch, DP_PARTS);
+        }
+        for wc in scratch.drain(..) {
+            inflight.remove(&wc.wr_id);
+        }
+    }
+}
+
+/// One row of the dataplane comparison (written to `BENCH_dataplane.json`).
+struct DataplaneStat {
+    label: &'static str,
+    msg_bytes: usize,
+    new_allocs_per_op: f64,
+    legacy_allocs_per_op: f64,
+}
+
+/// Dataplane group: ns/op under criterion plus a direct allocations/op
+/// measurement for the new path and the legacy replica, at a 4 KiB and a
+/// 64 KiB message.
+fn bench_dataplane(c: &mut Criterion) -> Vec<DataplaneStat> {
+    let mut stats = Vec::new();
+    let mut g = c.benchmark_group("dataplane");
+    for (label, msg) in [("msg_4k", 4096usize), ("msg_64k", 65536)] {
+        let mut new_round = dataplane_new_round(msg);
+        let mut legacy_round = dataplane_legacy_replica_round(msg);
+        let new_allocs = alloc_counter::allocs_per_op(&mut new_round, 64);
+        let legacy_allocs = alloc_counter::allocs_per_op(&mut legacy_round, 64);
+        g.bench_function(format!("{label}_new"), |b| b.iter(&mut new_round));
+        g.bench_function(format!("{label}_legacy_replica"), |b| {
+            b.iter(&mut legacy_round)
+        });
+        stats.push(DataplaneStat {
+            label,
+            msg_bytes: msg,
+            new_allocs_per_op: new_allocs,
+            legacy_allocs_per_op: legacy_allocs,
+        });
+    }
+    g.finish();
+    stats
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     c.bench_function("scheduler_100k_events", |b| {
         b.iter(|| {
@@ -308,15 +534,94 @@ fn bench(c: &mut Criterion) {
     bench_scheduler(c);
 }
 
+/// Serialise the dataplane comparison (allocation counts always, timing
+/// stats when criterion actually measured) and enforce the gates: the new
+/// path must allocate ≥25% less per message (always — counts are
+/// deterministic), and must show a ns/op win at the sample floor or the
+/// median (measured runs only).
+fn report_dataplane(c: &Criterion, stats: &[DataplaneStat]) {
+    let find = |id: &str| c.results().iter().find(|r| r.id == id);
+    let mut json = String::from("[\n");
+    for (i, st) in stats.iter().enumerate() {
+        let new = find(&format!("dataplane/{}_new", st.label));
+        let legacy = find(&format!("dataplane/{}_legacy_replica", st.label));
+        let fmt_ns = |r: Option<&criterion::BenchResult>| match r {
+            Some(r) => format!(
+                "{{ \"min_ns\": {:.1}, \"median_ns\": {:.1} }}",
+                r.min_ns, r.median_ns
+            ),
+            None => "null".into(),
+        };
+        json.push_str(&format!(
+            "  {{ \"id\": \"dataplane/{}\", \"msg_bytes\": {}, \
+             \"allocs_per_op\": {:.2}, \"legacy_allocs_per_op\": {:.2}, \
+             \"timing\": {}, \"legacy_timing\": {} }}{}\n",
+            st.label,
+            st.msg_bytes,
+            st.new_allocs_per_op,
+            st.legacy_allocs_per_op,
+            fmt_ns(new),
+            fmt_ns(legacy),
+            if i + 1 < stats.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    let path =
+        std::env::var("BENCH_DATAPLANE_JSON").unwrap_or_else(|_| "BENCH_dataplane.json".into());
+    std::fs::write(&path, json).expect("write dataplane results");
+    eprintln!("wrote dataplane results to {path}");
+
+    for st in stats {
+        eprintln!(
+            "dataplane/{}: {:.2} allocs/op vs {:.2} legacy ({:+.1}%)",
+            st.label,
+            st.new_allocs_per_op,
+            st.legacy_allocs_per_op,
+            (st.new_allocs_per_op / st.legacy_allocs_per_op - 1.0) * 100.0,
+        );
+        assert!(
+            st.new_allocs_per_op <= st.legacy_allocs_per_op * 0.75,
+            "dataplane/{}: {:.2} allocs/op is not >=25% below the legacy replica's {:.2}",
+            st.label,
+            st.new_allocs_per_op,
+            st.legacy_allocs_per_op,
+        );
+        if !c.is_test_mode() {
+            if let (Some(new), Some(legacy)) = (
+                find(&format!("dataplane/{}_new", st.label)),
+                find(&format!("dataplane/{}_legacy_replica", st.label)),
+            ) {
+                assert!(
+                    new.min_ns < legacy.min_ns || new.median_ns < legacy.median_ns,
+                    "dataplane/{}: no ns/op win (new {:.1}/{:.1} vs legacy {:.1}/{:.1} \
+                     floor/median)",
+                    st.label,
+                    new.min_ns,
+                    new.median_ns,
+                    legacy.min_ns,
+                    legacy.median_ns,
+                );
+                eprintln!(
+                    "dataplane/{}: {:.1} ns/op vs {:.1} legacy at the floor \
+                     ({:.1} vs {:.1} at the median)",
+                    st.label, new.min_ns, legacy.min_ns, new.median_ns, legacy.median_ns,
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let mut c = Criterion::from_args();
     bench(&mut c);
+    let dataplane = bench_dataplane(&mut c);
     // Always leave a results file behind (empty array in smoke mode), so CI
     // can upload it unconditionally.
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_hotpath.json".into());
     c.write_json(std::path::Path::new(&path))
         .expect("write hotpath results");
     eprintln!("wrote benchmark results to {path}");
+    report_dataplane(&c, &dataplane);
 
     // Acceptance bound: span tracing must stay within 5% of the untraced
     // round (smoke mode records no timings, so the check only runs on real

@@ -57,6 +57,9 @@ pub(crate) struct ProcInner {
     /// progress-lock winner touches it, so steady-state polling never
     /// allocates.
     pub poll_scratch: Mutex<Vec<WorkCompletion>>,
+    /// Reusable strong-handle buffer for the software-pending drain (upgrading
+    /// the drainable weak refs is a refcount bump into retained capacity).
+    pub drain_scratch: Mutex<Vec<Arc<SendShared>>>,
 }
 
 impl ProcInner {
@@ -88,13 +91,13 @@ impl ProcInner {
             let mut advanced = false;
 
             buf.clear();
-            self.send_cq.poll(POLL_BATCH, &mut buf);
+            self.send_cq.poll_cq_into(&mut buf, POLL_BATCH);
             advanced |= !buf.is_empty();
             for wc in buf.drain(..) {
                 self.dispatch_send_wc(wc);
             }
 
-            self.recv_cq.poll(POLL_BATCH, &mut buf);
+            self.recv_cq.poll_cq_into(&mut buf, POLL_BATCH);
             advanced |= !buf.is_empty();
             for wc in buf.drain(..) {
                 self.dispatch_recv_wc(wc);
@@ -128,22 +131,39 @@ impl ProcInner {
     /// outstanding-WR cap. Returns how many posts succeeded.
     fn drain_pending(&self) -> usize {
         let mut posted = 0;
-        let mut drainable = self.drainable.lock();
-        drainable.retain(|w| w.upgrade().is_some());
-        let strong: Vec<Arc<SendShared>> = drainable.iter().filter_map(|w| w.upgrade()).collect();
-        drop(drainable);
-        for s in strong {
+        // Take (don't hold) the strong-handle scratch: a dispatch handler
+        // reached from a re-post can re-enter drain via try_progress only on
+        // another thread (the progress lock is held), but taking keeps the
+        // rare recursive path allocation-bounded rather than deadlocked.
+        let mut strong = std::mem::take(&mut *self.drain_scratch.lock());
+        strong.clear();
+        {
+            let mut drainable = self.drainable.lock();
+            drainable.retain(|w| match w.upgrade() {
+                Some(s) => {
+                    strong.push(s);
+                    true
+                }
+                None => false,
+            });
+        }
+        for s in strong.drain(..) {
             let Some(ch) = s.channel.get() else { continue };
             loop {
                 let Some(p) = ch.pending.lock().pop_front() else {
                     break;
                 };
-                match ch.qps[p.qp_idx as usize].post_send_with(p.wr.clone(), p.opts) {
-                    Ok(()) => {
+                // Borrowing batch post of one WR: `Ok(0)` is queue-full, and
+                // a successful re-post recycles the shell into the channel's
+                // WR freelist instead of cloning it onto the wire.
+                match ch.qps[p.qp_idx as usize].post_send_batch(std::slice::from_ref(&p.wr), p.opts)
+                {
+                    Ok(1..) => {
                         self.tel.runtime.pending_reposts.inc();
                         posted += 1;
+                        ch.recycle_wr(p.wr);
                     }
-                    Err(VerbsError::SendQueueFull { .. }) => {
+                    Ok(_) => {
                         ch.pending.lock().push_front(p);
                         break;
                     }
@@ -158,6 +178,7 @@ impl ProcInner {
                 }
             }
         }
+        *self.drain_scratch.lock() = strong;
         posted
     }
 }

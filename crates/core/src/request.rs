@@ -72,7 +72,19 @@ pub(crate) struct SendChannel {
     /// Live delta for the timer aggregator (ns); seeded from the plan and
     /// rewritten each round when adaptive tuning is on.
     pub delta_ns: AtomicU64,
+    /// Freelist of retired `SendWr` shells. The `sg_list` vectors keep their
+    /// capacity across reuse, so steady-state posting builds WRs and their
+    /// in-flight images without heap allocation.
+    pub wr_pool: Mutex<Vec<SendWr>>,
+    /// Reusable assembly buffer for multi-run flush batches (capacity
+    /// retained between flushes).
+    pub batch_scratch: Mutex<Vec<SendWr>>,
 }
+
+/// Upper bound on pooled WR shells per channel; beyond this, retired shells
+/// are simply dropped (the pool only needs to cover the outstanding window
+/// plus the software-pending spill).
+const WR_POOL_CAP: usize = 64;
 
 impl SendChannel {
     /// Current timer delta, if this channel aggregates with a timer.
@@ -81,6 +93,36 @@ impl SendChannel {
         Some(SimDuration::from_nanos(
             self.delta_ns.load(Ordering::Acquire),
         ))
+    }
+
+    /// Pop a WR shell off the freelist (or mint one on a cold pool).
+    pub(crate) fn take_wr(&self) -> SendWr {
+        self.wr_pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a retired WR shell to the freelist, keeping its `sg_list`
+    /// capacity. Leaf lock: safe to call while holding any channel lock.
+    pub(crate) fn recycle_wr(&self, mut wr: SendWr) {
+        wr.sg_list.clear();
+        let mut pool = self.wr_pool.lock();
+        if pool.len() < WR_POOL_CAP {
+            pool.push(wr);
+        }
+    }
+
+    /// Copy `src` into a pooled shell — the retained in-flight image — by
+    /// field assignment into recycled storage instead of `Clone`.
+    fn image_of(&self, src: &SendWr) -> SendWr {
+        let mut img = self.take_wr();
+        img.wr_id = src.wr_id;
+        img.opcode = src.opcode;
+        img.sg_list.clear();
+        img.sg_list.extend_from_slice(&src.sg_list);
+        img.remote_addr = src.remote_addr;
+        img.rkey = src.rkey;
+        img.imm = src.imm;
+        img.inline_data = src.inline_data;
+        img
     }
 }
 
@@ -311,18 +353,23 @@ impl SendShared {
             }
             runs.push(lo..cursor);
         }
-        for run in runs {
-            if let Some(i) = containing {
-                if !(run.start <= i && i < run.end) {
-                    continue;
-                }
+        runs.retain(|run| containing.is_none_or(|i| run.start <= i && i < run.end));
+        // A flush that produced several runs claims send-queue slots once
+        // for the whole batch. Only on non-persistent plans: their post
+        // options are payload-independent, so one computation covers every
+        // WR in the batch.
+        if runs.len() > 1 && ch.plan.kind != AggregatorKind::Persistent {
+            self.post_range_batch(ch, g, &runs);
+        } else {
+            for run in runs {
+                self.post_range(ch, g, run);
             }
-            self.post_range(ch, g, run);
         }
     }
 
-    /// Post one RDMA-write-with-immediate covering user partitions `range`.
-    fn post_range(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32, range: Range<u32>) {
+    /// Per-run posting bookkeeping (sent flags, counters, events) and WR
+    /// assembly into a pooled shell. Shared by the single and batched paths.
+    fn build_range_wr(self: &Arc<Self>, ch: &Arc<SendChannel>, range: &Range<u32>) -> SendWr {
         let lo = range.start;
         let len = range.end - range.start;
         debug_assert!(len >= 1);
@@ -342,20 +389,115 @@ impl SendShared {
         let byte_lo = lo as usize * self.part_bytes;
         let wr_id = self.proc.next_wr_id();
         self.proc.pending_sends.lock().insert(wr_id, self.clone());
-        let wr = SendWr {
-            wr_id,
-            opcode: Opcode::RdmaWriteWithImm,
-            sg_list: vec![Sge {
-                addr: self.mr.addr_at(byte_lo),
-                length: bytes as u32,
-                lkey: self.mr.lkey(),
-            }],
-            remote_addr: ch.remote_addr + byte_lo as u64,
-            rkey: ch.remote_rkey,
-            imm: Some(imm::encode(lo as u16, len as u16)),
-            // The paper's module does not use inlining (§IV-A).
-            inline_data: false,
+        let mut wr = ch.take_wr();
+        wr.wr_id = wr_id;
+        wr.opcode = Opcode::RdmaWriteWithImm;
+        wr.sg_list.clear();
+        wr.sg_list.push(Sge {
+            addr: self.mr.addr_at(byte_lo),
+            length: bytes as u32,
+            lkey: self.mr.lkey(),
+        });
+        wr.remote_addr = ch.remote_addr + byte_lo as u64;
+        wr.rkey = ch.remote_rkey;
+        wr.imm = Some(imm::encode(lo as u16, len as u16));
+        // The paper's module does not use inlining (§IV-A).
+        wr.inline_data = false;
+        wr
+    }
+
+    /// Post every run of a multi-run flush through one `post_send_batch`
+    /// call: WR-cap slots are claimed once, and a partial grant spills the
+    /// unaccepted tail to the software-pending queue exactly as a
+    /// `SendQueueFull` would per-WR.
+    fn post_range_batch(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32, runs: &[Range<u32>]) {
+        let mut wrs = std::mem::take(&mut *ch.batch_scratch.lock());
+        wrs.clear();
+        for run in runs {
+            wrs.push(self.build_range_wr(ch, run));
+        }
+        // Non-persistent post options ignore payload size (see
+        // `post_options`), so the batch shares one computation.
+        let opts = self.post_options(0);
+        let qp_idx = ch.plan.qp_of(g);
+        // Retain every image before the first post: an instant fabric can
+        // dispatch an error completion synchronously, and recovery needs the
+        // in-flight image of whichever WR failed.
+        {
+            let mut inflight = ch.inflight.lock();
+            for wr in &wrs {
+                inflight.insert(
+                    wr.wr_id,
+                    PendingPost {
+                        qp_idx,
+                        wr: ch.image_of(wr),
+                        opts,
+                    },
+                );
+            }
+        }
+        let granted = match ch.qps[qp_idx as usize].post_send_batch(&wrs, opts) {
+            Ok(n) => n,
+            Err(VerbsError::InvalidQpState { .. })
+                if self.proc.config.reliability.max_recoveries > 0
+                    && self.error.get().is_none() =>
+            {
+                // QP mid-recovery: park the whole batch for the progress
+                // drain (same contract as the per-WR path in `submit`).
+                let mut pending = ch.pending.lock();
+                for wr in wrs.drain(..) {
+                    pending.push_back(PendingPost { qp_idx, wr, opts });
+                }
+                drop(pending);
+                *ch.batch_scratch.lock() = wrs;
+                return;
+            }
+            Err(VerbsError::InvalidQpState {
+                actual: QpState::Error,
+                ..
+            }) => {
+                // Recovery disabled: no completions will come. Retire the
+                // whole batch and poison.
+                let retired = wrs.len() as u32;
+                {
+                    let mut sends = self.proc.pending_sends.lock();
+                    let mut inflight = ch.inflight.lock();
+                    for wr in &wrs {
+                        sends.remove(&wr.wr_id);
+                        if let Some(img) = inflight.remove(&wr.wr_id) {
+                            ch.recycle_wr(img.wr);
+                        }
+                    }
+                }
+                for wr in wrs.drain(..) {
+                    ch.recycle_wr(wr);
+                }
+                *ch.batch_scratch.lock() = wrs;
+                self.wr_completed.fetch_add(retired, Ordering::AcqRel);
+                self.poison(ch, "queue pair in error state");
+                return;
+            }
+            Err(e) => panic!("unexpected verbs failure on partitioned batch post: {e}"),
         };
+        // The leading `granted` WRs are on the wire; the tail hit the
+        // outstanding cap and waits for free slots.
+        if granted < wrs.len() {
+            let mut pending = ch.pending.lock();
+            for wr in wrs.drain(granted..) {
+                self.proc.tel.runtime.pending_spills.inc();
+                pending.push_back(PendingPost { qp_idx, wr, opts });
+            }
+        }
+        for wr in wrs.drain(..) {
+            ch.recycle_wr(wr);
+        }
+        *ch.batch_scratch.lock() = wrs;
+    }
+
+    /// Post one RDMA-write-with-immediate covering user partitions `range`.
+    fn post_range(self: &Arc<Self>, ch: &Arc<SendChannel>, g: u32, range: Range<u32>) {
+        let bytes = (range.end - range.start) as usize * self.part_bytes;
+        let wr = self.build_range_wr(ch, &range);
         let opts = self.post_options(bytes);
         let qp_idx = ch.plan.qp_of(g);
         self.submit(ch, qp_idx, wr, opts);
@@ -371,18 +513,22 @@ impl SendShared {
         opts: PostOptions,
     ) {
         // Retain the WR image while it is in flight so a failed completion
-        // can re-post it after QP recovery.
+        // can re-post it after QP recovery. The image is a pooled shell, not
+        // a fresh clone.
         ch.inflight.lock().insert(
             wr.wr_id,
             PendingPost {
                 qp_idx,
-                wr: wr.clone(),
+                wr: ch.image_of(&wr),
                 opts,
             },
         );
-        match ch.qps[qp_idx as usize].post_send_with(wr.clone(), opts) {
-            Ok(()) => {}
-            Err(VerbsError::SendQueueFull { .. }) => {
+        // Single-WR batch post: borrows the WR, so a successful post recycles
+        // the shell instead of surrendering it. `Ok(0)` is the queue-full
+        // case.
+        match ch.qps[qp_idx as usize].post_send_batch(std::slice::from_ref(&wr), opts) {
+            Ok(1..) => ch.recycle_wr(wr),
+            Ok(_) => {
                 self.proc.tel.runtime.pending_spills.inc();
                 ch.pending
                     .lock()
@@ -409,7 +555,10 @@ impl SendShared {
                 // post. Poison the request and account the WR as retired so
                 // the round terminates.
                 self.proc.pending_sends.lock().remove(&wr.wr_id);
-                ch.inflight.lock().remove(&wr.wr_id);
+                if let Some(img) = ch.inflight.lock().remove(&wr.wr_id) {
+                    ch.recycle_wr(img.wr);
+                }
+                ch.recycle_wr(wr);
                 self.wr_completed.fetch_add(1, Ordering::AcqRel);
                 self.poison(ch, "queue pair in error state");
             }
@@ -473,13 +622,19 @@ impl SendShared {
             };
             if let Some(ch) = self.channel.get() {
                 let ch = ch.clone();
-                ch.inflight.lock().remove(&wc.wr_id);
+                let img = ch.inflight.lock().remove(&wc.wr_id);
+                if let Some(img) = img {
+                    ch.recycle_wr(img.wr);
+                }
                 self.poison(&ch, msg);
             } else {
                 let _ = self.error.set(msg);
             }
         } else if let Some(ch) = self.channel.get() {
-            ch.inflight.lock().remove(&wc.wr_id);
+            let img = ch.inflight.lock().remove(&wc.wr_id);
+            if let Some(img) = img {
+                ch.recycle_wr(img.wr);
+            }
         }
         self.wr_completed.fetch_add(1, Ordering::AcqRel);
         self.maybe_complete();
@@ -543,10 +698,15 @@ impl SendShared {
             let mut inflight = ch.inflight.lock();
             for p in &stranded {
                 sends.remove(&p.wr.wr_id);
-                inflight.remove(&p.wr.wr_id);
+                if let Some(img) = inflight.remove(&p.wr.wr_id) {
+                    ch.recycle_wr(img.wr);
+                }
             }
             drop(inflight);
             drop(sends);
+            for p in stranded {
+                ch.recycle_wr(p.wr);
+            }
             self.wr_completed.fetch_add(retired, Ordering::AcqRel);
         }
     }

@@ -194,11 +194,18 @@ impl<T: Element> TypedReceiver<T> {
         if !self.req.parrived(i)? {
             return Err(PartixError::NotActive);
         }
-        let bytes = self.mr.read_vec(
-            i as usize * self.items_per_partition * T::SIZE,
-            self.items_per_partition * T::SIZE,
-        )?;
-        Ok(bytes.chunks_exact(T::SIZE).map(T::read_le).collect())
+        // Decode straight out of the region through a small stack buffer:
+        // the only allocation is the returned element vector itself.
+        let base = i as usize * self.items_per_partition * T::SIZE;
+        let mut scratch = [0u8; 16];
+        debug_assert!(T::SIZE <= scratch.len(), "elements are primitives");
+        let mut out = Vec::with_capacity(self.items_per_partition);
+        for k in 0..self.items_per_partition {
+            let buf = &mut scratch[..T::SIZE];
+            self.mr.read(base + k * T::SIZE, buf)?;
+            out.push(T::read_le(buf));
+        }
+        Ok(out)
     }
 
     /// Block until all partitions arrive (`MPI_Wait`).

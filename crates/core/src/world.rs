@@ -256,6 +256,7 @@ impl World {
                     ucx_lock: Arc::new(SerialResource::new()),
                     recv_path: Arc::new(SerialResource::new()),
                     poll_scratch: Mutex::new(Vec::new()),
+                    drain_scratch: Mutex::new(Vec::new()),
                 });
                 // In simulated mode, completion events drive the progress
                 // engine directly (the completion-channel analogue); in
@@ -361,6 +362,8 @@ fn establish(world: &Arc<WorldInner>, s: Arc<SendShared>, r: Arc<RecvShared>) ->
         delta_ns: std::sync::atomic::AtomicU64::new(
             plan.timer_delta.map(|d| d.as_nanos()).unwrap_or(0),
         ),
+        wr_pool: Mutex::new(Vec::new()),
+        batch_scratch: Mutex::new(Vec::new()),
     });
     let recv_channel = Arc::new(RecvChannel {
         plan,

@@ -47,8 +47,16 @@ impl SerialResource {
 
     /// Start recording this resource's busy intervals as chrome-trace spans
     /// into `log`, labelled `name` on lane `(pid, tid)`. Returns false (and
-    /// changes nothing) if a span sink was already attached.
-    pub fn attach_span_log(&self, log: Arc<SpanLog>, name: String, pid: u32, tid: u32) -> bool {
+    /// changes nothing) if a span sink was already attached. Accepts an
+    /// `Arc<str>` so callers that precompute resource names attach them with
+    /// a refcount bump, not a fresh allocation.
+    pub fn attach_span_log(
+        &self,
+        log: Arc<SpanLog>,
+        name: impl Into<Arc<str>>,
+        pid: u32,
+        tid: u32,
+    ) -> bool {
         self.span
             .set(SpanSink {
                 log,

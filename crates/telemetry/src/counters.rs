@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::snapshot::{CqSnapshot, RuntimeSnapshot, WireSnapshot};
+use crate::snapshot::{ArenaSnapshot, CqSnapshot, RuntimeSnapshot, WireSnapshot};
 
 /// Number of distinct completion statuses a CQ can classify.
 ///
@@ -54,6 +54,12 @@ impl Counter {
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raise the counter to `v` if it is below it (a high-water gauge).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
     }
 }
 
@@ -188,6 +194,28 @@ pub struct RuntimeCounters {
     pub fixed_decisions: Counter,
 }
 
+/// Payload-arena ledger: the data plane's buffer-recycling pool.
+///
+/// The arena hands out pooled payload buffers (inline snapshots,
+/// retransmission slots); these counters reconcile the pool's books. The
+/// conservation laws are checked by [`crate::invariants::check`]:
+/// `pool_gets == pool_hits + pool_misses` and `pool_returns <= pool_gets`.
+#[derive(Debug, Default)]
+pub struct ArenaCounters {
+    /// Buffers requested from the arena.
+    pub pool_gets: Counter,
+    /// Requests satisfied by recycling a previously returned buffer.
+    pub pool_hits: Counter,
+    /// Requests that had to allocate a fresh buffer (cold pool, oversized
+    /// payload, or a full size class).
+    pub pool_misses: Counter,
+    /// Buffers handed back to the pool when their last reference dropped.
+    pub pool_returns: Counter,
+    /// High-water mark of concurrently live (handed-out, not yet returned)
+    /// buffers.
+    pub live_high_water: Counter,
+}
+
 /// The shared half of a network's telemetry: wire + runtime counters and
 /// the list of registered CQ ledgers.
 ///
@@ -200,6 +228,8 @@ pub struct Registry {
     pub wire: WireCounters,
     /// Aggregation-runtime counters.
     pub runtime: RuntimeCounters,
+    /// Payload-arena counters.
+    pub arena: ArenaCounters,
     cqs: Mutex<Vec<(u32, Arc<CqCounters>)>>,
 }
 
@@ -270,6 +300,18 @@ impl Registry {
             table_fallback_decisions: r.table_fallback_decisions.get(),
             model_decisions: r.model_decisions.get(),
             fixed_decisions: r.fixed_decisions.get(),
+        }
+    }
+
+    /// Snapshot the payload-arena ledger.
+    pub fn arena_snapshot(&self) -> ArenaSnapshot {
+        let a = &self.arena;
+        ArenaSnapshot {
+            pool_gets: a.pool_gets.get(),
+            pool_hits: a.pool_hits.get(),
+            pool_misses: a.pool_misses.get(),
+            pool_returns: a.pool_returns.get(),
+            live_high_water: a.live_high_water.get(),
         }
     }
 }

@@ -23,6 +23,10 @@
 //! 10. `recv_cqes == Σ cq.recv_pushed` (delivery site vs. CQ push site)
 //! 11. Per CQ: `polled <= pushed_total`
 //! 12. `partitions_posted <= preadys` (poisoning may strand preadys)
+//! 13. `pool_gets == pool_hits + pool_misses` (every arena get is exactly
+//!     one of recycled or freshly allocated)
+//! 14. `pool_returns <= pool_gets` (a buffer cannot return to the pool
+//!     more often than it was handed out)
 //!
 //! [`check_strict`] additionally requires a fully drained system:
 //! every QP's `outstanding == 0` and every CQ fully polled.
@@ -145,6 +149,22 @@ pub enum Violation {
         /// Partitions posted in aggregated WRs.
         partitions_posted: u64,
     },
+    /// Law 13: arena gets don't partition into pool hits and misses.
+    ArenaGetLedger {
+        /// Buffers requested from the arena.
+        pool_gets: u64,
+        /// Requests served by recycling.
+        pool_hits: u64,
+        /// Requests served by fresh allocation.
+        pool_misses: u64,
+    },
+    /// Law 14: more buffers returned to the arena than were handed out.
+    ArenaReturnLedger {
+        /// Buffers requested from the arena.
+        pool_gets: u64,
+        /// Buffers returned to the pool.
+        pool_returns: u64,
+    },
     /// Strict only: a QP still has outstanding send WRs.
     NotDrained {
         /// Owning node.
@@ -216,6 +236,14 @@ impl fmt::Display for Violation {
                 f,
                 "runtime: posted {partitions_posted} partitions but only {preadys} preadys accepted"
             ),
+            Violation::ArenaGetLedger { pool_gets, pool_hits, pool_misses } => write!(
+                f,
+                "arena: pool gets {pool_gets} != hits {pool_hits} + misses {pool_misses}"
+            ),
+            Violation::ArenaReturnLedger { pool_gets, pool_returns } => write!(
+                f,
+                "arena: {pool_returns} buffers returned but only {pool_gets} handed out"
+            ),
             Violation::NotDrained { node, qp_num, outstanding } => write!(
                 f,
                 "qp {node}/{qp_num}: {outstanding} send WR(s) still outstanding at quiescence"
@@ -267,7 +295,7 @@ impl fmt::Display for Report {
     }
 }
 
-/// Reconcile a quiesced snapshot against laws 1–12.
+/// Reconcile a quiesced snapshot against laws 1–14.
 ///
 /// "Quiesced" means the scheduler has run dry (sim) or all requests have
 /// completed (instant fabric): laws 5–10 compare sites on opposite ends of
@@ -423,6 +451,21 @@ fn check_quiescent(snap: &Snapshot, r: &mut Report) {
             cq_side: cq_recv,
         });
     }
+
+    let a = &snap.arena;
+    if a.pool_gets != a.pool_hits + a.pool_misses {
+        r.violations.push(Violation::ArenaGetLedger {
+            pool_gets: a.pool_gets,
+            pool_hits: a.pool_hits,
+            pool_misses: a.pool_misses,
+        });
+    }
+    if a.pool_returns > a.pool_gets {
+        r.violations.push(Violation::ArenaReturnLedger {
+            pool_gets: a.pool_gets,
+            pool_returns: a.pool_returns,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +600,36 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::CqNotDrained { .. })));
+    }
+
+    #[test]
+    fn arena_get_ledger_is_caught() {
+        let mut s = clean(2);
+        s.arena.pool_gets = 5;
+        s.arena.pool_hits = 2;
+        s.arena.pool_misses = 2; // one get unaccounted for
+        let r = check(&s);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ArenaGetLedger { .. })));
+        s.arena.pool_misses = 3;
+        check(&s).assert_clean();
+    }
+
+    #[test]
+    fn arena_over_return_is_caught() {
+        let mut s = clean(2);
+        s.arena.pool_gets = 3;
+        s.arena.pool_misses = 3;
+        s.arena.pool_returns = 4; // more returns than gets
+        let r = check(&s);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ArenaReturnLedger { .. })));
+        s.arena.pool_returns = 3;
+        check(&s).assert_clean();
     }
 
     #[test]

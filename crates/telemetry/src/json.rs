@@ -139,6 +139,13 @@ fn telemetry_json(snap: &Snapshot, report: &Report) -> String {
         r.model_decisions,
         r.fixed_decisions,
     );
+    let a = &snap.arena;
+    let _ = write!(
+        s,
+        "\n  \"arena\": {{\n    \"pool_gets\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
+         \"pool_returns\": {}, \"live_high_water\": {}\n  }},",
+        a.pool_gets, a.pool_hits, a.pool_misses, a.pool_returns, a.live_high_water,
+    );
     let _ = write!(
         s,
         "\n  \"invariants\": {{\n    \"clean\": {},\n    \"violations\": [",
@@ -232,6 +239,7 @@ mod tests {
             "\"cqs\"",
             "\"wire\"",
             "\"runtime\"",
+            "\"arena\"",
             "\"invariants\"",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");

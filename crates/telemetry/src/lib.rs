@@ -31,9 +31,11 @@ mod trace;
 pub mod invariants;
 
 pub use counters::{
-    segments_for, Counter, CqCounters, QpCounters, Registry, RuntimeCounters, WireCounters,
-    STATUS_NAMES, STATUS_SLOTS,
+    segments_for, ArenaCounters, Counter, CqCounters, QpCounters, Registry, RuntimeCounters,
+    WireCounters, STATUS_NAMES, STATUS_SLOTS,
 };
 pub use json::{write_chrome_trace, write_telemetry_json};
-pub use snapshot::{CqSnapshot, QpSnapshot, RuntimeSnapshot, Snapshot, WireSnapshot};
+pub use snapshot::{
+    ArenaSnapshot, CqSnapshot, QpSnapshot, RuntimeSnapshot, Snapshot, WireSnapshot,
+};
 pub use trace::{SpanEvent, SpanLog};

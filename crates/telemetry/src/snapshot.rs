@@ -96,6 +96,18 @@ pub struct RuntimeSnapshot {
     pub fixed_decisions: u64,
 }
 
+/// Frozen view of the payload-arena ledger. Field meanings match
+/// [`crate::ArenaCounters`].
+#[derive(Clone, Debug, Default)]
+#[allow(missing_docs)]
+pub struct ArenaSnapshot {
+    pub pool_gets: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_returns: u64,
+    pub live_high_water: u64,
+}
+
 /// A complete, self-consistent copy of every ledger in one network.
 ///
 /// Built by `NetworkState::telemetry_snapshot()` (verbs side), which walks
@@ -112,6 +124,8 @@ pub struct Snapshot {
     pub wire: WireSnapshot,
     /// Aggregation-runtime ledger.
     pub runtime: RuntimeSnapshot,
+    /// Payload-arena ledger.
+    pub arena: ArenaSnapshot,
 }
 
 impl Snapshot {

@@ -88,8 +88,12 @@ impl CompletionQueue {
             self.counters.recv_pushed.inc();
             self.counters.recv_bytes.add(wc.byte_len as u64);
         }
-        self.entries.lock().push_back(wc);
+        // Incremented *before* the entry is enqueued so the lock-free depth
+        // estimate in `poll_cq_into` can only over-report, never under-report
+        // (an over-report costs one wasted lock, an under-report would skip a
+        // present entry).
         self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().push_back(wc);
         // Clone under the read guard, call outside it: the hook may
         // re-enter the CQ (the progress engine polls from inside it) or
         // swap itself out, and must not hold the lock while it does.
@@ -102,9 +106,21 @@ impl CompletionQueue {
     /// Drain up to `max` completions into `out` (appended). Returns how many
     /// were drained. The `ibv_poll_cq` analogue.
     pub fn poll(&self, max: usize, out: &mut Vec<WorkCompletion>) -> usize {
+        self.poll_cq_into(out, max)
+    }
+
+    /// Batched drain into a reusable scratch vector: up to `max` entries are
+    /// appended to `scratch` under one queue lock, and the lock is taken at
+    /// all only when the lock-free depth estimate says entries are waiting.
+    /// Callers keep `scratch` across calls so steady-state polling performs
+    /// no allocation.
+    pub fn poll_cq_into(&self, scratch: &mut Vec<WorkCompletion>, max: usize) -> usize {
+        if max == 0 || self.depth() == 0 {
+            return 0;
+        }
         let mut q = self.entries.lock();
         let n = max.min(q.len());
-        out.extend(q.drain(..n));
+        scratch.extend(q.drain(..n));
         self.polled.fetch_add(n as u64, Ordering::Relaxed);
         self.counters.polled.add(n as u64);
         n

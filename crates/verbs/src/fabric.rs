@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use partix_sim::{SimDuration, SimTime};
 
+use crate::buf::{InlineVec, PooledBuf};
 use crate::memory::MemoryRegion;
 use crate::network::NetworkState;
 use crate::types::{NodeId, Opcode, WcOpcode, WcStatus, WorkCompletion};
@@ -63,8 +64,10 @@ pub struct TransferJob {
     pub wr_id: u64,
     /// Operation.
     pub opcode: Opcode,
-    /// Resolved gather list.
-    pub segments: Vec<ResolvedSegment>,
+    /// Resolved gather list. Inline up to four segments: partitioned
+    /// aggregation posts one or two SGEs per WR, so the common case carries
+    /// no heap allocation inside the job.
+    pub segments: InlineVec<ResolvedSegment>,
     /// Remote NIC-visible destination address.
     pub remote_addr: u64,
     /// Remote key.
@@ -74,8 +77,11 @@ pub struct TransferJob {
     /// Total bytes.
     pub total_len: u32,
     /// Payload snapshot taken at post time for inline sends (`None` for
-    /// ordinary gather-at-delivery transfers).
-    pub inline_payload: Option<Vec<u8>>,
+    /// ordinary gather-at-delivery transfers). Pooled and refcounted:
+    /// cloning the job for a retransmission or ghost duplicate shares the
+    /// same slot buffer, and the storage returns to the arena only when the
+    /// last clone drops.
+    pub inline_payload: Option<PooledBuf>,
     /// Packet sequence number assigned by the source QP at post time.
     /// Retransmissions and injected duplicates of the same WR share one
     /// PSN, which is what lets the destination suppress re-deliveries.
@@ -190,28 +196,61 @@ fn deliver(net: &Arc<NetworkState>, job: &TransferJob, copy_data: bool) -> Deliv
             return DeliveryOutcome::PayloadTooLarge;
         }
         if copy_data {
-            // Resolve destination scatter elements and stream the gathered
-            // payload into them.
-            let mut src_iter = job
-                .segments
-                .iter()
-                .flat_map(|seg| (0..seg.len).map(move |off| (seg, off)));
-            'outer: for sge in &recv_wr.sg_list {
-                let Ok(mr) = dst_node.mrs.by_lkey(sge.lkey) else {
-                    return DeliveryOutcome::RemoteAccessError;
+            // Stream the gathered payload into the receive WR's scatter
+            // elements with chunked MR→MR copies: each chunk spans as far
+            // as both the current source piece and the current destination
+            // element allow, moving bytes source-region→destination-region
+            // with a single copy and no intermediate buffer. Inline sends
+            // stream from their post-time snapshot instead of the (possibly
+            // since-rewritten) source region.
+            enum Piece<'a> {
+                Bytes(&'a [u8]),
+                Region(&'a MemoryRegion, usize, usize),
+            }
+            let inline = job.inline_payload.is_some();
+            let pieces = job.inline_payload.iter().map(|p| Piece::Bytes(p)).chain(
+                job.segments
+                    .iter()
+                    .filter(move |_| !inline)
+                    .map(|s| Piece::Region(&s.mr, s.offset, s.len)),
+            );
+            let mut sge_iter = recv_wr.sg_list.iter();
+            // Current destination window: (region, cursor, bytes left).
+            let mut dst: Option<(MemoryRegion, usize, usize)> = None;
+            'outer: for piece in pieces {
+                let slen = match &piece {
+                    Piece::Bytes(b) => b.len(),
+                    Piece::Region(_, _, len) => *len,
                 };
-                let Ok(base) = mr.offset_of(sge.lkey, sge.addr, sge.length as u64) else {
-                    return DeliveryOutcome::RemoteAccessError;
-                };
-                for i in 0..sge.length as usize {
-                    let Some((seg, off)) = src_iter.next() else {
-                        break 'outer;
-                    };
-                    let mut byte = [0u8];
-                    seg.mr
-                        .read(seg.offset + off, &mut byte)
-                        .expect("validated at post");
-                    mr.write(base + i, &byte).expect("validated above");
+                let mut spos = 0usize;
+                while spos < slen {
+                    if dst.as_ref().is_none_or(|w| w.2 == 0) {
+                        let Some(sge) = sge_iter.next() else {
+                            break 'outer;
+                        };
+                        let Ok(mr) = dst_node.mrs.by_lkey(sge.lkey) else {
+                            return DeliveryOutcome::RemoteAccessError;
+                        };
+                        let Ok(base) = mr.offset_of(sge.lkey, sge.addr, sge.length as u64) else {
+                            return DeliveryOutcome::RemoteAccessError;
+                        };
+                        dst = Some((mr, base, sge.length as usize));
+                        continue; // re-check: the new element may be empty
+                    }
+                    let w = dst.as_mut().expect("window installed above");
+                    let n = w.2.min(slen - spos);
+                    match &piece {
+                        Piece::Bytes(b) => {
+                            w.0.write(w.1, &b[spos..spos + n]).expect("validated above")
+                        }
+                        Piece::Region(mr, off, _) => {
+                            w.0.copy_from(w.1, mr, off + spos, n)
+                                .expect("validated at post and above")
+                        }
+                    }
+                    w.1 += n;
+                    w.2 -= n;
+                    spos += n;
                 }
             }
         }
@@ -256,7 +295,7 @@ fn deliver(net: &Arc<NetworkState>, job: &TransferJob, copy_data: bool) -> Deliv
                 .expect("range validated at resolve time");
         } else {
             let mut cursor = base_off;
-            for seg in &job.segments {
+            for seg in job.segments.iter() {
                 dst_mr
                     .copy_from(cursor, &seg.mr, seg.offset, seg.len)
                     .expect("ranges validated at post and resolve time");

@@ -101,14 +101,24 @@ struct FabricStats {
     bytes: AtomicU64,
 }
 
+/// One modelled hardware resource plus its precomputed trace identity. The
+/// name is formatted exactly once, when the resource is first created;
+/// attaching it to a span log afterwards is a refcount bump.
+struct ResourceEntry {
+    res: Arc<SerialResource>,
+    name: Arc<str>,
+    pid: u32,
+    tid: u32,
+}
+
 /// Discrete-event fabric.
 pub struct SimFabric {
     sched: Scheduler,
     params: FabricParams,
-    nic: Mutex<HashMap<NodeId, Arc<SerialResource>>>,
-    engines: Mutex<HashMap<(NodeId, u32), Arc<SerialResource>>>,
-    egress: Mutex<HashMap<NodeId, Arc<SerialResource>>>,
-    ingress: Mutex<HashMap<NodeId, Arc<SerialResource>>>,
+    nic: Mutex<HashMap<NodeId, ResourceEntry>>,
+    engines: Mutex<HashMap<(NodeId, u32), ResourceEntry>>,
+    egress: Mutex<HashMap<NodeId, ResourceEntry>>,
+    ingress: Mutex<HashMap<NodeId, ResourceEntry>>,
     stats: FabricStats,
     /// Destination for resource busy spans once tracing is enabled; `None`
     /// keeps the hot path span-free.
@@ -123,24 +133,34 @@ const INGRESS_TID: u32 = 2;
 const ENGINE_TID_BASE: u32 = 8;
 
 fn get_or_insert<K: std::hash::Hash + Eq + Copy>(
-    map: &Mutex<HashMap<K, Arc<SerialResource>>>,
+    map: &Mutex<HashMap<K, ResourceEntry>>,
     key: K,
     span_log: &Mutex<Option<Arc<SpanLog>>>,
     mk_span: impl FnOnce() -> (String, u32, u32),
 ) -> Arc<SerialResource> {
     let mut m = map.lock();
-    if let Some(r) = m.get(&key) {
-        return r.clone();
+    if let Some(e) = m.get(&key) {
+        return e.res.clone();
     }
-    // First use of this resource: if tracing is already on, attach the span
-    // sink now so lazily-created resources are not invisible in the trace.
-    let r = Arc::new(SerialResource::new());
+    // First use of this resource: format its trace name once and, if tracing
+    // is already on, attach the span sink now so lazily-created resources
+    // are not invisible in the trace.
+    let res = Arc::new(SerialResource::new());
+    let (name, pid, tid) = mk_span();
+    let name: Arc<str> = name.into();
     if let Some(log) = span_log.lock().clone() {
-        let (name, pid, tid) = mk_span();
-        r.attach_span_log(log, name, pid, tid);
+        res.attach_span_log(log, name.clone(), pid, tid);
     }
-    m.insert(key, r.clone());
-    r
+    m.insert(
+        key,
+        ResourceEntry {
+            res: res.clone(),
+            name,
+            pid,
+            tid,
+        },
+    );
+    res
 }
 
 impl SimFabric {
@@ -160,36 +180,19 @@ impl SimFabric {
 
     /// Enable span tracing: every modelled hardware resource records its
     /// busy intervals into `log` from now on (existing resources are
-    /// attached immediately, later-created ones at first use).
+    /// attached immediately, later-created ones at first use). Names were
+    /// precomputed at resource creation, so each attachment is a refcount
+    /// bump, not a `format!`.
     pub fn trace_into(&self, log: Arc<SpanLog>) {
         *self.span_log.lock() = Some(log.clone());
-        for (node, r) in self.nic.lock().iter() {
-            r.attach_span_log(log.clone(), format!("nic[node {node}]"), *node, NIC_TID);
-        }
-        for (node, r) in self.egress.lock().iter() {
-            r.attach_span_log(
-                log.clone(),
-                format!("egress[node {node}]"),
-                *node,
-                EGRESS_TID,
-            );
-        }
-        for (node, r) in self.ingress.lock().iter() {
-            r.attach_span_log(
-                log.clone(),
-                format!("ingress[node {node}]"),
-                *node,
-                INGRESS_TID,
-            );
-        }
-        for ((node, qp), r) in self.engines.lock().iter() {
-            r.attach_span_log(
-                log.clone(),
-                format!("qp_engine[node {node}, qp {qp}]"),
-                *node,
-                ENGINE_TID_BASE + *qp,
-            );
-        }
+        let attach = |e: &ResourceEntry| {
+            e.res
+                .attach_span_log(log.clone(), e.name.clone(), e.pid, e.tid);
+        };
+        self.nic.lock().values().for_each(attach);
+        self.egress.lock().values().for_each(attach);
+        self.ingress.lock().values().for_each(attach);
+        self.engines.lock().values().for_each(attach);
     }
 
     /// The parameters in force.
@@ -217,25 +220,17 @@ impl SimFabric {
     /// Busy fractions follow by dividing by the observation window.
     pub fn utilization(&self) -> Vec<ResourceUtilization> {
         let mut out = Vec::new();
-        let mut collect = |prefix: &str, map: &Mutex<HashMap<NodeId, Arc<SerialResource>>>| {
-            for (node, r) in map.lock().iter() {
-                out.push(ResourceUtilization {
-                    name: format!("{prefix}[node {node}]"),
-                    busy_ns: r.busy_total().as_nanos(),
-                    reservations: r.reservations(),
-                });
-            }
-        };
-        collect("nic", &self.nic);
-        collect("egress", &self.egress);
-        collect("ingress", &self.ingress);
-        for ((node, qp), r) in self.engines.lock().iter() {
+        let mut collect = |e: &ResourceEntry| {
             out.push(ResourceUtilization {
-                name: format!("qp_engine[node {node}, qp {qp}]"),
-                busy_ns: r.busy_total().as_nanos(),
-                reservations: r.reservations(),
+                name: e.name.to_string(),
+                busy_ns: e.res.busy_total().as_nanos(),
+                reservations: e.res.reservations(),
             });
-        }
+        };
+        self.nic.lock().values().for_each(&mut collect);
+        self.egress.lock().values().for_each(&mut collect);
+        self.ingress.lock().values().for_each(&mut collect);
+        self.engines.lock().values().for_each(&mut collect);
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
     }
@@ -354,9 +349,8 @@ fn deliver_with_rnr_retry(
                 let net2 = net.clone();
                 sched.after(wait, move || {
                     let ack_at = sched2.now() + ack_latency;
-                    let sched3 = sched2.clone();
                     deliver_with_rnr_retry(
-                        &sched3,
+                        &sched2,
                         &net2,
                         job,
                         copy_data,

@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+mod buf;
 mod cq;
 mod error;
 mod fabric;
@@ -68,6 +69,7 @@ mod network;
 mod qp;
 mod types;
 
+pub use buf::{InlineVec, PayloadArena, PooledBuf, PooledBufMut, INLINE_CAP};
 pub use cq::CompletionQueue;
 pub use error::{Result, VerbsError};
 pub use fabric::{

@@ -185,11 +185,52 @@ impl MemoryRegion {
         Ok(())
     }
 
+    /// Append `len` bytes at `offset` onto `dst` without an intermediate
+    /// allocation (beyond `dst`'s own growth). This is the hot-path read:
+    /// callers hand in a pooled or reused buffer and no fresh `Vec` is
+    /// created per read. Virtual regions append zeroes.
+    pub fn read_into(&self, offset: usize, len: usize, dst: &mut Vec<u8>) -> Result<()> {
+        fence(Ordering::Acquire);
+        self.check(self.lkey, offset, len)?;
+        dst.reserve(len);
+        let start = dst.len();
+        if self.virtual_backing {
+            dst.resize(start + len, 0);
+            return Ok(());
+        }
+        // SAFETY: bounds checked above; `reserve` guarantees the spare
+        // capacity; aliasing discipline per module docs.
+        unsafe {
+            let src = self.storage.bytes.as_ptr().add(offset) as *const u8;
+            std::ptr::copy_nonoverlapping(src, dst.as_mut_ptr().add(start), len);
+            dst.set_len(start + len);
+        }
+        Ok(())
+    }
+
     /// Read a fresh `Vec` of `len` bytes at `offset`.
+    ///
+    /// Allocates a new `Vec` per call — a convenience for tests and cold
+    /// paths only. Hot paths use [`read_into`](Self::read_into) (reused
+    /// buffer) or [`copy_to`](Self::copy_to) (MR→MR, no intermediate).
     pub fn read_vec(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
-        let mut v = vec![0u8; len];
-        self.read(offset, &mut v)?;
+        let mut v = Vec::new();
+        self.read_into(offset, len, &mut v)?;
         Ok(v)
+    }
+
+    /// Copy `len` bytes from `self` (at `src_offset`) directly into `dst`
+    /// (at `dst_offset`): the MR→MR transfer primitive. The simulated wire
+    /// uses this to move payload source-region→destination-region with a
+    /// single copy and no intermediate buffer.
+    pub fn copy_to(
+        &self,
+        src_offset: usize,
+        dst: &MemoryRegion,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<()> {
+        dst.copy_from(dst_offset, self, src_offset, len)
     }
 
     /// Fill `len` bytes at `offset` with `value`. No-op on a virtual
@@ -371,6 +412,30 @@ mod tests {
         assert!(m.read_vec(16, 1).is_err());
         assert!(m.write(16, &[]).is_ok(), "zero-length at end is fine");
         assert!(m.fill(8, 9, 0xAA).is_err());
+    }
+
+    #[test]
+    fn read_into_appends_and_checks_bounds() {
+        let (_r, m) = reg(32);
+        m.write(0, &[5u8; 8]).unwrap();
+        let mut buf = vec![0xAAu8; 2];
+        m.read_into(0, 8, &mut buf).unwrap();
+        assert_eq!(buf, [&[0xAA, 0xAA][..], &[5u8; 8][..]].concat());
+        let before = buf.clone();
+        assert!(m.read_into(30, 8, &mut buf).is_err());
+        assert_eq!(buf, before, "failed read must not grow the buffer");
+    }
+
+    #[test]
+    fn copy_to_mirrors_copy_from() {
+        let r0 = MrRegistry::new(0);
+        let r1 = MrRegistry::new(1);
+        let src = r0.register(1, 32);
+        let dst = r1.register(1, 32);
+        src.write(4, &[3u8; 12]).unwrap();
+        src.copy_to(4, &dst, 8, 12).unwrap();
+        assert_eq!(dst.read_vec(8, 12).unwrap(), vec![3u8; 12]);
+        assert!(src.copy_to(28, &dst, 0, 8).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use parking_lot::RwLock;
 
 use partix_telemetry::{QpSnapshot, Registry, Snapshot};
 
+use crate::buf::PayloadArena;
 use crate::cq::CompletionQueue;
 use crate::error::{Result, VerbsError};
 use crate::fabric::Fabric;
@@ -64,6 +65,7 @@ pub struct NetworkState {
     next_cq_id: AtomicU32,
     next_pd_id: AtomicU32,
     telemetry: Arc<Registry>,
+    arena: PayloadArena,
 }
 
 impl NetworkState {
@@ -83,6 +85,11 @@ impl NetworkState {
     /// The telemetry registry every layer of this network reports into.
     pub fn telemetry(&self) -> &Arc<Registry> {
         &self.telemetry
+    }
+
+    /// The payload arena the data plane recycles its buffers through.
+    pub fn arena(&self) -> &PayloadArena {
+        &self.arena
     }
 
     /// Freeze the complete telemetry ledger: per-QP counters are read
@@ -120,6 +127,7 @@ impl NetworkState {
             cqs: self.telemetry.cq_snapshots(),
             wire: self.telemetry.wire_snapshot(),
             runtime: self.telemetry.runtime_snapshot(),
+            arena: self.telemetry.arena_snapshot(),
         }
     }
 }
@@ -134,12 +142,16 @@ pub struct Network {
 impl Network {
     /// Create a network of `nodes` nodes over `fabric`.
     pub fn new(nodes: u32, fabric: Arc<dyn Fabric>) -> Self {
+        let telemetry = Arc::new(Registry::new());
+        let arena = PayloadArena::new();
+        arena.set_telemetry(telemetry.clone());
         let state = Arc::new(NetworkState {
             nodes: (0..nodes).map(NodeCtx::new).collect(),
             next_qp_num: AtomicU32::new(1),
             next_cq_id: AtomicU32::new(1),
             next_pd_id: AtomicU32::new(1),
-            telemetry: Arc::new(Registry::new()),
+            telemetry,
+            arena,
         });
         Network { state, fabric }
     }

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 
 use partix_telemetry::QpCounters;
 
+use crate::buf::{InlineVec, PooledBuf};
 use crate::cq::CompletionQueue;
 use crate::error::{Result, VerbsError};
 use crate::fabric::{Fabric, PostOptions, ResolvedSegment, TransferJob};
@@ -101,6 +102,36 @@ impl RetryProfile {
     }
 }
 
+/// Receive-side record of applied PSNs from one peer QP, kept as a
+/// watermark plus a small out-of-order set instead of an ever-growing hash
+/// set: every PSN below `watermark` has been applied, and `recent` holds
+/// the applied PSNs at or above it. In-order traffic keeps `recent` empty;
+/// retransmission races bound it by the sender's outstanding-WR window, and
+/// its `Vec` retains capacity, so steady-state marking never allocates.
+#[derive(Debug, Default)]
+struct PsnWindow {
+    watermark: u64,
+    recent: Vec<u64>,
+}
+
+impl PsnWindow {
+    fn seen(&self, psn: u64) -> bool {
+        psn < self.watermark || self.recent.contains(&psn)
+    }
+
+    fn mark(&mut self, psn: u64) {
+        if self.seen(psn) {
+            return;
+        }
+        self.recent.push(psn);
+        // Advance the watermark over any now-contiguous prefix.
+        while let Some(i) = self.recent.iter().position(|&p| p == self.watermark) {
+            self.recent.swap_remove(i);
+            self.watermark += 1;
+        }
+    }
+}
+
 /// Identity of the connected remote QP.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PeerId {
@@ -127,16 +158,24 @@ pub struct QueuePair {
     retry: Mutex<RetryProfile>,
     /// Send-side packet sequence counter: every posted WR gets a fresh PSN.
     next_psn: AtomicU64,
-    /// Receive-side record of PSNs whose payload already landed, keyed per
-    /// peer QP. At-least-once wire behaviour (retransmits, duplicated
+    /// Receive-side record of PSNs whose payload already landed, one
+    /// [`PsnWindow`] per peer QP (linear scan: a QP talks to very few
+    /// peers). At-least-once wire behaviour (retransmits, duplicated
     /// packets) collapses to exactly-once at the memory region here.
-    applied_psns: Mutex<std::collections::HashSet<(u32, u64)>>,
+    applied_psns: Mutex<Vec<(u32, PsnWindow)>>,
     net: Weak<NetworkState>,
     fabric: Arc<dyn Fabric>,
     /// Telemetry ledger for this QP; walked by the network when it builds
     /// a snapshot.
     counters: Arc<QpCounters>,
+    /// Reusable staging for batched posts (capacity retained, so a
+    /// steady-state batch of any size prepares without heap allocation).
+    prepare_scratch: Mutex<Vec<PreparedSend>>,
 }
+
+/// What `prepare_send` resolves one WR into: segments, payload total, and
+/// the optional inline snapshot.
+type PreparedSend = (InlineVec<ResolvedSegment>, u64, Option<PooledBuf>);
 
 impl QueuePair {
     #[allow(clippy::too_many_arguments)] // mirrors ibv_create_qp's attribute set
@@ -165,10 +204,11 @@ impl QueuePair {
             posted_recvs: AtomicU64::new(0),
             retry: Mutex::new(RetryProfile::from_caps(&caps)),
             next_psn: AtomicU64::new(0),
-            applied_psns: Mutex::new(std::collections::HashSet::new()),
+            applied_psns: Mutex::new(Vec::new()),
             net,
             fabric,
             counters: Arc::new(QpCounters::default()),
+            prepare_scratch: Mutex::new(Vec::new()),
         })
     }
 
@@ -277,13 +317,25 @@ impl QueuePair {
 
     /// Has the payload of `(src_qp, psn)` already been applied here?
     pub(crate) fn psn_seen(&self, src_qp: u32, psn: u64) -> bool {
-        self.applied_psns.lock().contains(&(src_qp, psn))
+        self.applied_psns
+            .lock()
+            .iter()
+            .find(|(qp, _)| *qp == src_qp)
+            .is_some_and(|(_, w)| w.seen(psn))
     }
 
     /// Record `(src_qp, psn)` as applied. Called only after a successful
     /// delivery, so an RNR-deferred attempt is not mistaken for a duplicate.
     pub(crate) fn mark_psn(&self, src_qp: u32, psn: u64) {
-        self.applied_psns.lock().insert((src_qp, psn));
+        let mut windows = self.applied_psns.lock();
+        match windows.iter_mut().find(|(qp, _)| *qp == src_qp) {
+            Some((_, w)) => w.mark(psn),
+            None => {
+                let mut w = PsnWindow::default();
+                w.mark(psn);
+                windows.push((src_qp, w));
+            }
+        }
     }
 
     /// Force the QP into the error state (fatal completion).
@@ -353,13 +405,21 @@ impl QueuePair {
     /// (used by the runtime's protocol cost models; ignored by the instant
     /// fabric).
     pub fn post_send_with(self: &Arc<Self>, wr: SendWr, opts: PostOptions) -> Result<()> {
-        let st = self.state();
-        if st != QpState::ReadyToSend {
-            return Err(VerbsError::InvalidQpState {
-                actual: st,
-                required: QpState::ReadyToSend,
-            });
+        match self.post_send_batch(std::slice::from_ref(&wr), opts)? {
+            0 => Err(VerbsError::SendQueueFull {
+                max_outstanding: self.caps.max_send_wr,
+            }),
+            _ => Ok(()),
         }
+    }
+
+    /// Validate one WR of a batch and resolve its gather list.
+    fn prepare_send(
+        &self,
+        node: &crate::network::NodeCtx,
+        net: &Arc<NetworkState>,
+        wr: &SendWr,
+    ) -> Result<(InlineVec<ResolvedSegment>, u64, Option<PooledBuf>)> {
         match wr.opcode {
             Opcode::RdmaWrite | Opcode::Send => {}
             Opcode::RdmaWriteWithImm | Opcode::SendWithImm => {
@@ -377,13 +437,10 @@ impl QueuePair {
                 max: self.caps.max_sge,
             });
         }
-        let peer = self.peer().ok_or(VerbsError::PeerNotSet)?;
-        let net = self.net.upgrade().expect("network outlives queue pairs");
-        let node = net.node(self.node)?;
 
         // Resolve the gather list against local registrations; also enforce
         // the protection domain.
-        let mut segments = Vec::with_capacity(wr.sg_list.len());
+        let mut segments = InlineVec::new();
         let mut total: u64 = 0;
         for sge in &wr.sg_list {
             let mr = node.mrs.by_lkey(sge.lkey)?;
@@ -401,6 +458,8 @@ impl QueuePair {
 
         // Inline sends snapshot the payload at post time (the WQE carries
         // it), so later writes to the source buffer cannot race the wire.
+        // The snapshot lives in a pooled arena buffer: after warm-up no
+        // allocation happens here.
         let snapshot = if wr.inline_data {
             if total > self.caps.max_inline_data as u64 {
                 return Err(VerbsError::InlineTooLarge {
@@ -408,56 +467,109 @@ impl QueuePair {
                     max: self.caps.max_inline_data,
                 });
             }
-            let mut bytes = Vec::with_capacity(total as usize);
-            for seg in &segments {
-                let mut chunk = vec![0u8; seg.len];
-                seg.mr.read(seg.offset, &mut chunk)?;
-                bytes.extend_from_slice(&chunk);
+            let mut bytes = net.arena().get(total as usize);
+            for seg in segments.iter() {
+                seg.mr.read_into(seg.offset, seg.len, &mut bytes)?;
             }
-            Some(bytes)
+            Some(bytes.freeze())
         } else {
             None
         };
+        Ok((segments, total, snapshot))
+    }
 
-        // Claim an outstanding-WR slot; hardware rejects past the cap.
+    /// Post a batch of send work requests through one doorbell
+    /// (`ibv_post_send` with a chained WR list).
+    ///
+    /// All WRs are validated *before* any slot is claimed: an invalid WR
+    /// anywhere in the batch returns its error with nothing posted. The
+    /// outstanding-WR cap is then consumed in a single atomic update for the
+    /// whole batch; when fewer than `wrs.len()` slots are free, the leading
+    /// `n` WRs are posted and `Ok(n)` is returned — `Ok(0)` means the send
+    /// queue was full (callers spill the rest exactly as they would after
+    /// `SendQueueFull`).
+    pub fn post_send_batch(self: &Arc<Self>, wrs: &[SendWr], opts: PostOptions) -> Result<usize> {
+        if wrs.is_empty() {
+            return Ok(0);
+        }
+        let st = self.state();
+        if st != QpState::ReadyToSend {
+            return Err(VerbsError::InvalidQpState {
+                actual: st,
+                required: QpState::ReadyToSend,
+            });
+        }
+        let peer = self.peer().ok_or(VerbsError::PeerNotSet)?;
+        let net = self.net.upgrade().expect("network outlives queue pairs");
+        let node = net.node(self.node)?;
+
+        // Take (don't hold) the pooled staging vector: a concurrent post on
+        // the same QP simply pays a fresh allocation for its batch.
+        let mut prepared = std::mem::take(&mut *self.prepare_scratch.lock());
+        prepared.clear();
+        for wr in wrs {
+            match self.prepare_send(&node, &net, wr) {
+                Ok(p) => prepared.push(p),
+                Err(e) => {
+                    prepared.clear();
+                    *self.prepare_scratch.lock() = prepared;
+                    return Err(e);
+                }
+            }
+        }
+
+        // Claim slots for the whole batch in one atomic update; hardware
+        // rejects past the cap, so only the slots actually free are taken.
+        let want = wrs.len().min(u32::MAX as usize) as u32;
+        let mut granted: u32 = 0;
         let claim = self
             .outstanding
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
-                (cur < self.caps.max_send_wr).then_some(cur + 1)
+                granted = want.min(self.caps.max_send_wr.saturating_sub(cur));
+                (granted > 0).then(|| cur + granted)
             });
         if claim.is_err() {
-            return Err(VerbsError::SendQueueFull {
-                max_outstanding: self.caps.max_send_wr,
-            });
+            // Dropping the prepared entries hands any inline snapshots back
+            // to the arena.
+            prepared.clear();
+            *self.prepare_scratch.lock() = prepared;
+            return Ok(0);
         }
-        self.posted_sends.fetch_add(1, Ordering::Relaxed);
-        self.counters.send_posted.inc();
-        self.counters.bytes_posted.add(total);
+        let granted = granted as usize;
 
-        let mut opts = opts;
-        if wr.inline_data {
-            // Inline rides the doorbell write: the small-message fast lane.
-            opts.small_lane = true;
+        for (wr, (segments, total, snapshot)) in wrs.iter().zip(prepared.drain(..)).take(granted) {
+            self.posted_sends.fetch_add(1, Ordering::Relaxed);
+            self.counters.send_posted.inc();
+            self.counters.bytes_posted.add(total);
+
+            let mut opts = opts;
+            if wr.inline_data {
+                // Inline rides the doorbell write: the small-message fast
+                // lane.
+                opts.small_lane = true;
+            }
+            let job = TransferJob {
+                src_node: self.node,
+                dst_node: peer.node,
+                src_qp: self.qp_num,
+                dst_qp: peer.qp_num,
+                wr_id: wr.wr_id,
+                opcode: wr.opcode,
+                segments,
+                remote_addr: wr.remote_addr,
+                rkey: wr.rkey,
+                imm: wr.imm,
+                total_len: total as u32,
+                inline_payload: snapshot,
+                psn: self.assign_psn(),
+                ghost: false,
+                opts,
+            };
+            self.fabric.submit(&net, job);
         }
-        let job = TransferJob {
-            src_node: self.node,
-            dst_node: peer.node,
-            src_qp: self.qp_num,
-            dst_qp: peer.qp_num,
-            wr_id: wr.wr_id,
-            opcode: wr.opcode,
-            segments,
-            remote_addr: wr.remote_addr,
-            rkey: wr.rkey,
-            imm: wr.imm,
-            total_len: total as u32,
-            inline_payload: snapshot,
-            psn: self.assign_psn(),
-            ghost: false,
-            opts,
-        };
-        self.fabric.submit(&net, job);
-        Ok(())
+        prepared.clear();
+        *self.prepare_scratch.lock() = prepared;
+        Ok(granted)
     }
 
     /// Release an outstanding-WR slot (fabric-internal, at send completion).

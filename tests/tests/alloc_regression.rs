@@ -1,0 +1,108 @@
+//! Data-plane allocation regression test.
+//!
+//! A counting global allocator wraps `System`; after a warm-up round has
+//! populated every pool (WR freelists, CQ rings, poll scratch, hash-map
+//! capacity), a steady-state 64 KiB partitioned send must perform zero
+//! heap allocations end to end: post, wire delivery, completion dispatch,
+//! and progress polling all run out of recycled storage.
+//!
+//! This file holds exactly one test: a sibling test allocating on another
+//! thread while the window is open would fail it spuriously.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use partix_core::{AggregatorKind, PartixConfig, World};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const PARTITIONS: u32 = 16;
+const PART_BYTES: usize = 4096; // 16 x 4 KiB = one 64 KiB message per round
+
+#[test]
+fn steady_state_64k_send_is_allocation_free() {
+    let world = World::instant(2, PartixConfig::with_aggregator(AggregatorKind::PLogGp));
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let total = PARTITIONS as usize * PART_BYTES;
+    let sbuf = p0.alloc_buffer(total).unwrap();
+    let rbuf = p1.alloc_buffer(total).unwrap();
+    let send = p0.psend_init(&sbuf, PARTITIONS, PART_BYTES, 1, 0).unwrap();
+    let recv = p1.precv_init(&rbuf, PARTITIONS, PART_BYTES, 0, 0).unwrap();
+
+    let round = |tick: u8| {
+        recv.start().unwrap();
+        send.start().unwrap();
+        for i in 0..PARTITIONS {
+            sbuf.fill(
+                i as usize * PART_BYTES,
+                PART_BYTES,
+                tick.wrapping_add(i as u8),
+            )
+            .unwrap();
+            send.pready(i).unwrap();
+        }
+        send.wait().unwrap();
+        recv.wait().unwrap();
+    };
+
+    // Warm-up: freelists, scratch buffers, and map capacity fill here.
+    for tick in 0..4u8 {
+        round(tick);
+    }
+
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    for tick in 4..12u8 {
+        round(tick);
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    // Verify the rounds actually moved data before judging the count.
+    let last = 11u8;
+    for i in 0..PARTITIONS {
+        let got = rbuf.read_vec(i as usize * PART_BYTES, PART_BYTES).unwrap();
+        assert!(
+            got.iter().all(|&b| b == last.wrapping_add(i as u8)),
+            "partition {i} holds stale bytes"
+        );
+    }
+    assert_eq!(
+        allocs, 0,
+        "steady-state partitioned send must not touch the heap ({allocs} allocations leaked into the hot path)"
+    );
+}
