@@ -304,19 +304,39 @@ fn bench_round(c: &mut Criterion, kind: AggregatorKind) {
     });
 }
 
-/// Telemetry overhead: the same simulated round with and without span
-/// tracing attached. Counters are always on (they are the product), so the
-/// pair isolates the cost of the opt-in `--trace` path: the OnceLock load
-/// per resource reservation plus span recording and per-round drain. The
-/// acceptance bound (traced within 5% of untraced) is asserted in `main`.
+/// Which parts of the opt-in observability stack a telemetry bench round
+/// attaches.
+#[derive(Clone, Copy, PartialEq)]
+enum Traced {
+    /// Nothing attached — the baseline both gates compare against.
+    Off,
+    /// Resource span tracing (`World::enable_tracing`).
+    Spans,
+    /// Causal flow tracing: flow-ID minting, per-stage events, and
+    /// residency histograms (`World::enable_flow_tracing`).
+    Flows,
+}
+
+/// Telemetry overhead: the same simulated round with and without the
+/// opt-in observability layers attached. Counters are always on (they are
+/// the product), so each traced round isolates the cost of one `--trace`
+/// ingredient: `Spans` pays the OnceLock load per resource reservation
+/// plus span recording; `Flows` pays flow-ID minting, per-stage event
+/// stamping, histogram records, and the per-round drain. The acceptance
+/// bounds (each within 5% of untraced) are asserted in `main`.
 fn bench_telemetry_overhead(c: &mut Criterion) {
+    use partix_core::telemetry::FlowLog;
     use partix_core::SpanLog;
 
-    fn sim_round_world(traced: bool) -> impl FnMut() {
+    fn sim_round_world(traced: Traced) -> impl FnMut() {
         let (world, sim) = World::sim(2, PartixConfig::with_aggregator(AggregatorKind::PLogGp));
-        let log = traced.then(SpanLog::new);
+        let log = (traced == Traced::Spans).then(SpanLog::new);
         if let Some(log) = &log {
             world.enable_tracing(log.clone());
+        }
+        let flow_log = (traced == Traced::Flows).then(FlowLog::new);
+        if let Some(flow_log) = &flow_log {
+            world.enable_flow_tracing(flow_log.clone());
         }
         let p0 = world.proc(0);
         let p1 = world.proc(1);
@@ -339,14 +359,19 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             if let Some(log) = &log {
                 black_box(log.drain());
             }
+            if let Some(flow_log) = &flow_log {
+                black_box(flow_log.drain());
+            }
         }
     }
 
     let mut g = c.benchmark_group("telemetry");
-    let mut untraced = sim_round_world(false);
+    let mut untraced = sim_round_world(Traced::Off);
     g.bench_function("round_untraced", |b| b.iter(&mut untraced));
-    let mut traced = sim_round_world(true);
-    g.bench_function("round_traced", |b| b.iter(&mut traced));
+    let mut spans = sim_round_world(Traced::Spans);
+    g.bench_function("round_traced", |b| b.iter(&mut spans));
+    let mut flows = sim_round_world(Traced::Flows);
+    g.bench_function("round_flow_traced", |b| b.iter(&mut flows));
     g.finish();
 }
 
@@ -389,6 +414,7 @@ fn dataplane_new_round(msg: usize) -> impl FnMut() {
             rkey: dst.rkey(),
             imm: None,
             inline_data: false,
+            flow: 0,
         })
         .collect();
     let mut scratch = Vec::with_capacity(DP_PARTS);
@@ -463,6 +489,7 @@ fn dataplane_legacy_replica_round(msg: usize) -> impl FnMut() {
                 rkey: dst.rkey(),
                 imm: None,
                 inline_data: false,
+                flow: 0,
             };
             next_id += 1;
             inflight.insert(wr.wr_id, wr.clone());
@@ -623,39 +650,43 @@ fn main() {
     eprintln!("wrote benchmark results to {path}");
     report_dataplane(&c, &dataplane);
 
-    // Acceptance bound: span tracing must stay within 5% of the untraced
-    // round (smoke mode records no timings, so the check only runs on real
-    // measurements; a filter may also have skipped the pair). Scheduler
+    // Acceptance bounds: span tracing and flow tracing (histograms and
+    // causal stage events) must each stay within 5% of the untraced round
+    // (smoke mode records no timings, so the checks only run on real
+    // measurements; a filter may also have skipped a pair). Scheduler
     // noise on a busy host can swing either single statistic by several
-    // percent between back-to-back runs, so the gate requires BOTH the
+    // percent between back-to-back runs, so each gate requires BOTH the
     // sample floor and the median to exceed the budget before failing — a
     // genuine regression moves both, a noise spike moves one.
     if !c.is_test_mode() {
         let sample = |id: &str| c.results().iter().find(|r| r.id == id).cloned();
-        if let (Some(untraced), Some(traced)) = (
-            sample("telemetry/round_untraced"),
-            sample("telemetry/round_traced"),
-        ) {
-            assert!(
-                traced.min_ns <= untraced.min_ns * 1.05
-                    || traced.median_ns <= untraced.median_ns * 1.05,
-                "telemetry tracing overhead out of budget: traced {:.1}/{:.1} ns \
-                 (floor/median) vs untraced {:.1}/{:.1} ns (both > 5%)",
-                traced.min_ns,
-                traced.median_ns,
-                untraced.min_ns,
-                untraced.median_ns
-            );
-            eprintln!(
-                "telemetry overhead: {:+.2}% at the floor, {:+.2}% at the median \
-                 (traced {:.1}/{:.1} ns, untraced {:.1}/{:.1} ns)",
-                (traced.min_ns / untraced.min_ns - 1.0) * 100.0,
-                (traced.median_ns / untraced.median_ns - 1.0) * 100.0,
-                traced.min_ns,
-                traced.median_ns,
-                untraced.min_ns,
-                untraced.median_ns
-            );
+        let untraced = sample("telemetry/round_untraced");
+        for (what, id) in [
+            ("span tracing", "telemetry/round_traced"),
+            ("flow tracing + histograms", "telemetry/round_flow_traced"),
+        ] {
+            if let (Some(untraced), Some(traced)) = (untraced.clone(), sample(id)) {
+                assert!(
+                    traced.min_ns <= untraced.min_ns * 1.05
+                        || traced.median_ns <= untraced.median_ns * 1.05,
+                    "{what} overhead out of budget: traced {:.1}/{:.1} ns \
+                     (floor/median) vs untraced {:.1}/{:.1} ns (both > 5%)",
+                    traced.min_ns,
+                    traced.median_ns,
+                    untraced.min_ns,
+                    untraced.median_ns
+                );
+                eprintln!(
+                    "{what} overhead: {:+.2}% at the floor, {:+.2}% at the median \
+                     (traced {:.1}/{:.1} ns, untraced {:.1}/{:.1} ns)",
+                    (traced.min_ns / untraced.min_ns - 1.0) * 100.0,
+                    (traced.median_ns / untraced.median_ns - 1.0) * 100.0,
+                    traced.min_ns,
+                    traced.median_ns,
+                    untraced.min_ns,
+                    untraced.median_ns
+                );
+            }
         }
     }
 }

@@ -8,9 +8,10 @@
 //! `--jobs N` fans independent cells across N worker threads (default: the
 //! machine's available parallelism); output is byte-identical at any count.
 //! `--trace` additionally runs one fully-observed lossy cell, writes
-//! `<out>/telemetry.json` (counter ledger + invariant verdict) and
-//! `<out>/trace.json` (chrome-trace), and exits non-zero if any counter
-//! conservation law is violated.
+//! `<out>/telemetry_fault_chaos.json` (counter ledger + invariant verdict)
+//! and `<out>/trace_fault_chaos.json` (chrome-trace + causal flow events),
+//! and exits non-zero if any counter conservation law is violated or any
+//! causal flow chain is incomplete.
 
 use std::path::PathBuf;
 
@@ -112,13 +113,26 @@ fn main() {
             seed: sweep.seed,
         };
         let art = run_traced(&cfg);
-        art.write_to(&out).expect("write trace artifacts");
+        let tag = "fault_chaos";
+        art.write_to(&out, tag).expect("write trace artifacts");
         println!(
-            "wrote {} and {} ({} spans)",
-            out.join("telemetry.json").display(),
-            out.join("trace.json").display(),
+            "wrote {} and {} ({} spans, {} flow events)",
+            out.join(format!("telemetry_{tag}.json")).display(),
+            out.join(format!("trace_{tag}.json")).display(),
             art.spans.len(),
+            art.flows.len(),
         );
+        let violations = art.chain_violations();
+        for v in &violations {
+            eprintln!("flow-chain violation: {v}");
+        }
+        if !violations.is_empty() {
+            eprintln!(
+                "causal flow chains INCOMPLETE ({} violations)",
+                violations.len()
+            );
+            std::process::exit(1);
+        }
         if art.report.is_clean() {
             println!("telemetry invariants: clean");
         } else {

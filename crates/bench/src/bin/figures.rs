@@ -6,9 +6,11 @@
 //! ```
 //!
 //! `--trace` additionally runs one fully-observed workload and writes
-//! `<out>/telemetry.json` (counter ledger + invariant verdict) and
-//! `<out>/trace.json` (chrome-trace, open at <https://ui.perfetto.dev>);
-//! the process exits non-zero if any conservation law is violated.
+//! `<out>/telemetry_figures.json` (counter ledger + invariant verdict) and
+//! `<out>/trace_figures.json` (chrome-trace + causal flow events, open at
+//! <https://ui.perfetto.dev> or analyze with the `trace` binary); the
+//! process exits non-zero if any conservation law is violated or any
+//! causal flow chain is incomplete.
 //!
 //! Each experiment writes `<out>/<name>*.csv` and prints the aligned table
 //! plus headline observables to stdout. The defaults use the paper's
@@ -102,13 +104,26 @@ fn run_trace(out: &std::path::Path, quick: bool) -> bool {
         seed: 7,
     };
     let art = run_traced(&cfg);
-    art.write_to(out).expect("write trace artifacts");
+    let tag = "figures";
+    art.write_to(out, tag).expect("write trace artifacts");
     println!(
-        "wrote {} and {} ({} spans)",
-        out.join("telemetry.json").display(),
-        out.join("trace.json").display(),
+        "wrote {} and {} ({} spans, {} flow events)",
+        out.join(format!("telemetry_{tag}.json")).display(),
+        out.join(format!("trace_{tag}.json")).display(),
         art.spans.len(),
+        art.flows.len(),
     );
+    let violations = art.chain_violations();
+    for v in &violations {
+        eprintln!("flow-chain violation: {v}");
+    }
+    if !violations.is_empty() {
+        eprintln!(
+            "causal flow chains INCOMPLETE ({} violations)",
+            violations.len()
+        );
+        return false;
+    }
     if art.report.is_clean() {
         println!("telemetry invariants: clean");
         true

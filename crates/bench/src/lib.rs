@@ -12,3 +12,4 @@ pub mod check;
 pub mod experiments;
 pub mod plots;
 pub mod report;
+pub mod tracefile;

@@ -1,0 +1,560 @@
+//! Trace-file loading and analysis for the `trace` binary.
+//!
+//! Reads the `trace_<tag>.json` artifacts written by traced runs
+//! ([`partix_workloads::TraceArtifacts::write_to`]): chrome-trace events
+//! plus a `"flows"` array of raw causal flow events and a `"stages"` map
+//! of per-stage residency histogram snapshots. Parsing is a small
+//! recursive-descent JSON reader (the repo carries no serde); analysis
+//! reconstructs per-flow critical paths via `partix_profiler` and renders
+//! the percentile tables, stall reports, and run-to-run diffs.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use partix_profiler::{assemble_chains, top_stalls, FlowChain};
+use partix_verbs::telemetry::{FlowEvent, FlowStage, HistSnapshot};
+
+/// A minimal JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (all values in trace files fit f64's exact-integer range).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as u64 (rounded), if numeric.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as &str, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry the byte offset of the problem.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let b = src.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key is not a string at offset {}", *pos)),
+                };
+                expect(b, pos, b':')?;
+                members.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| format!("bad \\u escape at offset {}", *pos))?;
+                                // Surrogate pairs don't occur in our traces;
+                                // map lone surrogates to the replacement char.
+                                s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at offset {}", *pos)),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 sequences pass through untouched.
+                        let start = *pos;
+                        let len = if c < 0x80 {
+                            1
+                        } else if c >> 5 == 0b110 {
+                            2
+                        } else if c >> 4 == 0b1110 {
+                            3
+                        } else {
+                            4
+                        };
+                        let chunk = b
+                            .get(start..start + len)
+                            .and_then(|ch| std::str::from_utf8(ch).ok())
+                            .ok_or_else(|| format!("bad utf-8 at offset {start}"))?;
+                        s.push_str(chunk);
+                        *pos += len;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+/// A loaded trace artifact: the workload tag, raw flow events, and the
+/// per-stage residency histograms.
+pub struct TraceFile {
+    /// Workload tag from the trace metadata.
+    pub workload: String,
+    /// Raw causal flow events.
+    pub flows: Vec<FlowEvent>,
+    /// Per-stage histogram snapshots, in file order.
+    pub stages: Vec<(String, HistSnapshot)>,
+}
+
+impl TraceFile {
+    /// Load and parse a trace file from disk.
+    pub fn load(path: &Path) -> Result<TraceFile, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        TraceFile::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parse a trace document.
+    pub fn parse(src: &str) -> Result<TraceFile, String> {
+        let doc = parse_json(src)?;
+        let workload = doc
+            .get("meta")
+            .and_then(|m| m.get("workload"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let mut flows = Vec::new();
+        for row in doc
+            .get("flows")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"flows\" array")?
+        {
+            let row = row.as_arr().ok_or("flow row is not an array")?;
+            if row.len() != 6 {
+                return Err(format!("flow row has {} fields, want 6", row.len()));
+            }
+            let stage_name = row[1].as_str().ok_or("flow stage is not a string")?;
+            let stage = FlowStage::from_name(stage_name)
+                .ok_or_else(|| format!("unknown flow stage {stage_name:?}"))?;
+            let num = |i: usize| -> Result<u64, String> {
+                row[i]
+                    .as_u64()
+                    .ok_or_else(|| format!("flow field {i} is not a number"))
+            };
+            flows.push(FlowEvent {
+                flow: num(0)?,
+                stage,
+                ts_ns: num(2)?,
+                qp: num(3)? as u32,
+                chan: num(4)? as u32,
+                aux: num(5)?,
+            });
+        }
+        let mut stages = Vec::new();
+        if let Some(Json::Obj(members)) = doc.get("stages") {
+            for (name, snap) in members {
+                let field = |k: &str| -> Result<u64, String> {
+                    snap.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("stage {name}: missing {k}"))
+                };
+                let mut buckets = Vec::new();
+                for b in snap
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("stage {name}: missing buckets"))?
+                {
+                    let b = b.as_arr().ok_or("bucket is not an array")?;
+                    if b.len() != 3 {
+                        return Err("bucket is not a [lo, hi, count] triple".into());
+                    }
+                    buckets.push(partix_verbs::telemetry::HistBucket {
+                        lo: b[0].as_u64().ok_or("bucket lo")?,
+                        hi: b[1].as_u64().ok_or("bucket hi")?,
+                        count: b[2].as_u64().ok_or("bucket count")?,
+                    });
+                }
+                stages.push((
+                    name.clone(),
+                    HistSnapshot {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        max: field("max")?,
+                        buckets,
+                    },
+                ));
+            }
+        }
+        Ok(TraceFile {
+            workload,
+            flows,
+            stages,
+        })
+    }
+
+    /// Reassembled per-flow chains.
+    pub fn chains(&self) -> Vec<FlowChain> {
+        assemble_chains(&self.flows)
+    }
+
+    /// Causal completeness / monotonicity violations across all chains.
+    pub fn violations(&self) -> Vec<String> {
+        self.chains().iter().flat_map(|c| c.violations()).collect()
+    }
+
+    /// Stage snapshots with borrowed names (the shape the exposition
+    /// encoder takes).
+    pub fn stage_refs(&self) -> Vec<(&str, HistSnapshot)> {
+        self.stages
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.clone()))
+            .collect()
+    }
+}
+
+/// Render the per-stage percentile table and the top-`k` stall report.
+pub fn report(tf: &TraceFile, k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# trace report — workload: {}", tf.workload);
+    let chains = tf.chains();
+    let arrived = chains.iter().filter(|c| c.arrived()).count();
+    let _ = writeln!(
+        out,
+        "{} flows ({} arrived), {} events\n",
+        chains.len(),
+        arrived,
+        tf.flows.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50_ns", "p95_ns", "p99_ns", "max_ns", "mean_ns"
+    );
+    for (name, h) in &tf.stages {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12.1}",
+            name,
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.max,
+            h.mean(),
+        );
+    }
+    type StallPick = fn(&FlowChain) -> u64;
+    let classes: [(&str, StallPick); 4] = [
+        ("wr_cap_wait", |c| c.stalls().1),
+        ("rnr_wait", |c| c.stalls().2),
+        ("retransmit_wait", |c| c.stalls().3),
+        ("delta_timer_hold", |c| c.stalls().0),
+    ];
+    for (title, pick) in classes {
+        let top = top_stalls(&chains, k, pick);
+        if top.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "\n## top {} flows by {}", top.len(), title);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>6} {:>6}",
+            "flow", "wait_ns", "qp", "chan"
+        );
+        for s in top {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>12} {:>6} {:>6}",
+                s.flow, s.wait_ns, s.qp, s.chan
+            );
+        }
+    }
+    out
+}
+
+/// One per-stage percentile regression found by [`diff`].
+pub struct Regression {
+    /// Stage histogram name.
+    pub stage: String,
+    /// Which percentile regressed ("p50", "p95", "p99").
+    pub quantile: &'static str,
+    /// Baseline value in ns.
+    pub before: u64,
+    /// Candidate value in ns.
+    pub after: u64,
+}
+
+/// Compare two traces stage by stage; a regression is a candidate
+/// percentile more than `threshold` (fractional, e.g. 0.10) above the
+/// baseline's. Returns the rendered table and the regressions found.
+pub fn diff(base: &TraceFile, cand: &TraceFile, threshold: f64) -> (String, Vec<Regression>) {
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    let _ = writeln!(
+        out,
+        "# trace diff — baseline: {}, candidate: {} (threshold {:.0}%)",
+        base.workload,
+        cand.workload,
+        threshold * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>4} {:>12} {:>12} {:>9}",
+        "stage", "q", "base_ns", "cand_ns", "delta"
+    );
+    for (name, b) in &base.stages {
+        let Some((_, c)) = cand.stages.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(out, "{name:<16} missing from candidate");
+            continue;
+        };
+        if b.count == 0 || c.count == 0 {
+            continue;
+        }
+        for (qname, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let bv = b.quantile(q);
+            let cv = c.quantile(q);
+            let delta = if bv == 0 {
+                if cv == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                cv as f64 / bv as f64 - 1.0
+            };
+            let regressed = delta > threshold;
+            let _ = writeln!(
+                out,
+                "{:<16} {:>4} {:>12} {:>12} {:>+8.1}%{}",
+                name,
+                qname,
+                bv,
+                cv,
+                delta * 100.0,
+                if regressed { "  REGRESSED" } else { "" }
+            );
+            if regressed {
+                regressions.push(Regression {
+                    stage: name.clone(),
+                    quantile: qname,
+                    before: bv,
+                    after: cv,
+                });
+            }
+        }
+    }
+    (out, regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_nested_values() {
+        let doc =
+            parse_json(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true, "e": null}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\ny")
+        );
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("b").unwrap().get("e"), Some(&Json::Null));
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+    }
+
+    fn sample_doc(wire_vals: &[u64]) -> String {
+        use partix_verbs::telemetry::LogHistogram;
+        let h = LogHistogram::new();
+        for &v in wire_vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut buckets = String::new();
+        for (i, b) in snap.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push_str(", ");
+            }
+            buckets.push_str(&format!("[{}, {}, {}]", b.lo, b.hi, b.count));
+        }
+        format!(
+            "{{\"meta\": {{\"workload\": \"unit\", \"format\": 1}},\n\
+             \"traceEvents\": [],\n\
+             \"flows\": [\n  [1, \"posted\", 100, 2, 7, 40],\n  [1, \"wire_submit\", 150, 2, 0, 0],\n  [1, \"recv_cqe\", 300, 2, 0, 5],\n  [1, \"arrived\", 400, 0, 7, 1]\n],\n\
+             \"stages\": {{\"wire_ns\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}}},\n\
+             \"displayTimeUnit\": \"ns\"}}\n",
+            snap.count, snap.sum, snap.max, buckets
+        )
+    }
+
+    #[test]
+    fn trace_file_parses_flows_and_stages() {
+        let tf = TraceFile::parse(&sample_doc(&[100, 200, 300])).unwrap();
+        assert_eq!(tf.workload, "unit");
+        assert_eq!(tf.flows.len(), 4);
+        assert_eq!(tf.flows[0].stage, FlowStage::Posted);
+        assert!(tf.violations().is_empty());
+        let (_, h) = &tf.stages[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 600);
+        assert!(h.quantile(0.5) >= 200);
+        let text = report(&tf, 3);
+        assert!(text.contains("wire_ns"));
+        assert!(text.contains("delta_timer_hold"));
+    }
+
+    #[test]
+    fn diff_flags_injected_regression() {
+        let base = TraceFile::parse(&sample_doc(&[100; 50])).unwrap();
+        let cand = TraceFile::parse(&sample_doc(
+            &[100; 49]
+                .iter()
+                .copied()
+                .chain([100_000])
+                .collect::<Vec<_>>(),
+        ))
+        .unwrap();
+        let (_, same) = diff(&base, &base, 0.10);
+        assert!(same.is_empty());
+        let (text, regs) = diff(&base, &cand, 0.10);
+        assert!(!regs.is_empty(), "p99 blow-up must be flagged:\n{text}");
+        assert!(regs.iter().any(|r| r.quantile == "p99"));
+    }
+}

@@ -120,6 +120,7 @@ impl Proc {
             complete_cbs: Mutex::new(Vec::new()),
             error: OnceLock::new(),
             arrival_log: Mutex::new(Vec::new()),
+            pready_ns: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
         });
         crate::world::World {
             inner: self.world.clone(),

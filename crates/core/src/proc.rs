@@ -111,7 +111,22 @@ impl ProcInner {
         *self.poll_scratch.lock() = buf;
     }
 
+    /// Record the CQ-poll lag span for a traced completion: the time the
+    /// entry sat in the completion queue between the fabric's push and this
+    /// poll (`wc.pushed_ns` is stamped by the fabric from the same clock).
+    fn note_cqe(&self, wc: &WorkCompletion, stage: partix_verbs::FlowStage) {
+        if wc.flow == 0 {
+            return;
+        }
+        let flows = &self.tel.flows;
+        let now = flows.now();
+        let lag = now.saturating_sub(wc.pushed_ns);
+        flows.event_at(wc.flow, stage, now, wc.qp_num, 0, lag);
+        flows.stage_ns(|s| &s.cq_lag, lag);
+    }
+
     fn dispatch_send_wc(self: &Arc<Self>, wc: WorkCompletion) {
+        self.note_cqe(&wc, partix_verbs::FlowStage::SendCqe);
         let state = self.pending_sends.lock().remove(&wc.wr_id);
         match state {
             Some(s) => s.on_wr_complete(wc),
@@ -120,6 +135,7 @@ impl ProcInner {
     }
 
     fn dispatch_recv_wc(self: &Arc<Self>, wc: WorkCompletion) {
+        self.note_cqe(&wc, partix_verbs::FlowStage::RecvCqe);
         let state = self.pending_recvs.lock().remove(&wc.wr_id);
         match state {
             Some(r) => r.on_incoming(wc),
@@ -161,6 +177,20 @@ impl ProcInner {
                     Ok(1..) => {
                         self.tel.runtime.pending_reposts.inc();
                         posted += 1;
+                        if p.wr.flow != 0 && p.queued_ns != 0 {
+                            let flows = &self.tel.flows;
+                            let now = flows.now();
+                            let wait = now.saturating_sub(p.queued_ns);
+                            flows.event_at(
+                                p.wr.flow,
+                                partix_verbs::FlowStage::CapDequeued,
+                                now,
+                                p.qp_idx,
+                                0,
+                                wait,
+                            );
+                            flows.stage_ns(|s| &s.cap_wait, wait);
+                        }
                         ch.recycle_wr(p.wr);
                     }
                     Ok(_) => {

@@ -55,6 +55,10 @@ pub(crate) struct PendingPost {
     pub qp_idx: u32,
     pub wr: SendWr,
     pub opts: PostOptions,
+    /// Flow-trace timestamp of the spill into the software-pending queue
+    /// (0 when tracing is off or the WR is untraced); the progress drain
+    /// turns it into a `cap_wait` sample on re-post.
+    pub queued_ns: u64,
 }
 
 /// Wire resources of a matched send request.
@@ -122,6 +126,7 @@ impl SendChannel {
         img.rkey = src.rkey;
         img.imm = src.imm;
         img.inline_data = src.inline_data;
+        img.flow = src.flow;
         img
     }
 }
@@ -157,6 +162,9 @@ pub(crate) struct SendShared {
     pub error: OnceLock<&'static str>,
     /// Per-round pready timestamps (populated only under adaptive delta).
     pub arrival_log: Mutex<Vec<u64>>,
+    /// Per-partition pready timestamps for causal flow tracing (stamped only
+    /// while a flow recorder is attached; feeds the `agg_hold_ns` histogram).
+    pub pready_ns: Box<[AtomicU64]>,
 }
 
 impl SendShared {
@@ -205,6 +213,11 @@ impl SendShared {
         self.wr_completed.store(0, Ordering::Release);
         self.recoveries_round.store(0, Ordering::Relaxed);
         self.arrival_log.lock().clear();
+        if self.proc.tel.flows.enabled() {
+            for t in self.pready_ns.iter() {
+                t.store(0, Ordering::Relaxed);
+            }
+        }
         let round = self.round.fetch_add(1, Ordering::AcqRel) + 1;
         self.proc
             .emit(|s, t| s.on_send_start(self.proc.rank, self.id, round, t));
@@ -233,6 +246,9 @@ impl SendShared {
             self.arrival_log
                 .lock()
                 .push(self.proc.time.now().as_nanos());
+        }
+        if self.proc.tel.flows.enabled() {
+            self.pready_ns[i as usize].store(self.proc.tel.flows.now(), Ordering::Relaxed);
         }
         let ch = self.channel()?.clone();
         let g = ch.plan.group_of(i);
@@ -403,6 +419,32 @@ impl SendShared {
         wr.imm = Some(imm::encode(lo as u16, len as u16));
         // The paper's module does not use inlining (§IV-A).
         wr.inline_data = false;
+        // Causal tracing: mint a flow identifier (0 when tracing is off) and
+        // record the Posted span. Aggregation hold is measured from the
+        // earliest pready of the run — the time the first-ready partition
+        // spent waiting for the aggregation decision.
+        let flows = &self.proc.tel.flows;
+        wr.flow = flows.next_flow_id();
+        if wr.flow != 0 {
+            let now = flows.now();
+            let first_ready = range
+                .clone()
+                .map(|p| self.pready_ns[p as usize].load(Ordering::Relaxed))
+                .filter(|&t| t != 0)
+                .min()
+                .unwrap_or(now);
+            let hold = now.saturating_sub(first_ready);
+            let qp = ch.plan.qp_of(ch.plan.group_of(lo));
+            flows.event_at(
+                wr.flow,
+                partix_verbs::FlowStage::Posted,
+                now,
+                qp,
+                self.id as u32,
+                hold,
+            );
+            flows.stage_ns(|s| &s.agg_hold, hold);
+        }
         wr
     }
 
@@ -432,6 +474,7 @@ impl SendShared {
                         qp_idx,
                         wr: ch.image_of(wr),
                         opts,
+                        queued_ns: 0,
                     },
                 );
             }
@@ -446,7 +489,12 @@ impl SendShared {
                 // drain (same contract as the per-WR path in `submit`).
                 let mut pending = ch.pending.lock();
                 for wr in wrs.drain(..) {
-                    pending.push_back(PendingPost { qp_idx, wr, opts });
+                    pending.push_back(PendingPost {
+                        qp_idx,
+                        wr,
+                        opts,
+                        queued_ns: 0,
+                    });
                 }
                 drop(pending);
                 *ch.batch_scratch.lock() = wrs;
@@ -482,10 +530,25 @@ impl SendShared {
         // The leading `granted` WRs are on the wire; the tail hit the
         // outstanding cap and waits for free slots.
         if granted < wrs.len() {
+            let flows = &self.proc.tel.flows;
+            let queued_ns = flows.now();
             let mut pending = ch.pending.lock();
             for wr in wrs.drain(granted..) {
                 self.proc.tel.runtime.pending_spills.inc();
-                pending.push_back(PendingPost { qp_idx, wr, opts });
+                flows.event_at(
+                    wr.flow,
+                    partix_verbs::FlowStage::CapQueued,
+                    queued_ns,
+                    qp_idx,
+                    self.id as u32,
+                    0,
+                );
+                pending.push_back(PendingPost {
+                    qp_idx,
+                    wr,
+                    opts,
+                    queued_ns,
+                });
             }
         }
         for wr in wrs.drain(..) {
@@ -521,6 +584,7 @@ impl SendShared {
                 qp_idx,
                 wr: ch.image_of(&wr),
                 opts,
+                queued_ns: 0,
             },
         );
         // Single-WR batch post: borrows the WR, so a successful post recycles
@@ -530,9 +594,22 @@ impl SendShared {
             Ok(1..) => ch.recycle_wr(wr),
             Ok(_) => {
                 self.proc.tel.runtime.pending_spills.inc();
-                ch.pending
-                    .lock()
-                    .push_back(PendingPost { qp_idx, wr, opts });
+                let flows = &self.proc.tel.flows;
+                let queued_ns = flows.now();
+                flows.event_at(
+                    wr.flow,
+                    partix_verbs::FlowStage::CapQueued,
+                    queued_ns,
+                    qp_idx,
+                    self.id as u32,
+                    0,
+                );
+                ch.pending.lock().push_back(PendingPost {
+                    qp_idx,
+                    wr,
+                    opts,
+                    queued_ns,
+                });
             }
             Err(VerbsError::InvalidQpState { .. })
                 if self.proc.config.reliability.max_recoveries > 0
@@ -543,9 +620,12 @@ impl SendShared {
                 // the failing WR's completion handler will cycle the QP back
                 // to RTS, and the progress engine's drain will re-post this
                 // one — or, if recovery exhausts, poisoning will retire it.
-                ch.pending
-                    .lock()
-                    .push_back(PendingPost { qp_idx, wr, opts });
+                ch.pending.lock().push_back(PendingPost {
+                    qp_idx,
+                    wr,
+                    opts,
+                    queued_ns: 0,
+                });
             }
             Err(VerbsError::InvalidQpState {
                 actual: QpState::Error,
@@ -813,8 +893,9 @@ pub(crate) struct RecvShared {
     pub completed_rounds: AtomicU64,
     pub complete_cbs: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
     /// Arrivals observed between rounds (sender ran ahead); applied at the
-    /// next `start`.
-    pub early: Mutex<Vec<(u16, u16)>>,
+    /// next `start`. Each entry carries `(lo, count, flow)` so the causal
+    /// chain survives the buffering.
+    pub early: Mutex<Vec<(u16, u16, u64)>>,
 }
 
 impl RecvShared {
@@ -870,8 +951,8 @@ impl RecvShared {
             .emit(|s, t| s.on_recv_start(self.proc.rank, self.id, round, t));
 
         let early = std::mem::take(&mut *self.early.lock());
-        for (lo, cnt) in early {
-            self.apply_arrival(lo, cnt);
+        for (lo, cnt, flow) in early {
+            self.apply_arrival(lo, cnt, flow);
         }
         Ok(())
     }
@@ -886,8 +967,9 @@ impl RecvShared {
     pub(crate) fn on_incoming(self: &Arc<Self>, wc: WorkCompletion) {
         debug_assert_eq!(wc.status, WcStatus::Success, "recv completion error");
         let (lo, cnt) = imm::decode(wc.imm.expect("write-with-imm carries an immediate"));
+        let flow = wc.flow;
         if !self.proc.sim_mode {
-            self.record_arrival(lo, cnt);
+            self.record_arrival(lo, cnt, flow);
             return;
         }
         let cfg = &self.proc.config;
@@ -902,13 +984,13 @@ impl RecvShared {
             .reserve(now, SimDuration::from_nanos(cost));
         let delay = end.saturating_since(now);
         if delay == SimDuration::ZERO {
-            self.record_arrival(lo, cnt);
+            self.record_arrival(lo, cnt, flow);
         } else {
             let me = self.clone();
             self.proc.time.schedule(
                 delay,
                 Box::new(move || {
-                    me.record_arrival(lo, cnt);
+                    me.record_arrival(lo, cnt, flow);
                 }),
             );
         }
@@ -916,16 +998,25 @@ impl RecvShared {
 
     /// Apply an arrival after the software path, buffering it if the round
     /// has not started yet.
-    fn record_arrival(self: &Arc<Self>, lo: u16, cnt: u16) {
+    fn record_arrival(self: &Arc<Self>, lo: u16, cnt: u16, flow: u64) {
         if !self.active.load(Ordering::Acquire) {
-            self.early.lock().push((lo, cnt));
+            self.early.lock().push((lo, cnt, flow));
             return;
         }
-        self.apply_arrival(lo, cnt);
+        self.apply_arrival(lo, cnt, flow);
     }
 
-    fn apply_arrival(self: &Arc<Self>, lo: u16, cnt: u16) {
+    fn apply_arrival(self: &Arc<Self>, lo: u16, cnt: u16, flow: u64) {
         debug_assert!(cnt >= 1);
+        // Terminal span of the causal chain: the arrival flags are visible
+        // to `parrived` from here on.
+        self.proc.tel.flows.event(
+            flow,
+            partix_verbs::FlowStage::Arrived,
+            0,
+            self.id as u32,
+            cnt as u64,
+        );
         for p in lo as u32..lo as u32 + cnt as u32 {
             let was = self.arrived[p as usize].swap(1, Ordering::AcqRel);
             debug_assert_eq!(was, 0, "partition {p} delivered twice");

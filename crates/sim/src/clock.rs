@@ -116,6 +116,15 @@ impl TimeSource {
     pub fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
         self.timer.schedule(delay, f);
     }
+
+    /// The clock as a plain nanosecond closure, for injection into layers
+    /// that must stay independent of this crate (e.g. the telemetry flow
+    /// recorder). Reads the same underlying clock as [`TimeSource::now`],
+    /// so stamps agree with virtual time under the simulator.
+    pub fn ns_hook(&self) -> Arc<dyn Fn() -> u64 + Send + Sync> {
+        let clock = self.clock.clone();
+        Arc::new(move || clock.now().as_nanos())
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::flow::FlowRecorder;
 use crate::snapshot::{ArenaSnapshot, CqSnapshot, RuntimeSnapshot, WireSnapshot};
 
 /// Number of distinct completion statuses a CQ can classify.
@@ -230,6 +231,9 @@ pub struct Registry {
     pub runtime: RuntimeCounters,
     /// Payload-arena counters.
     pub arena: ArenaCounters,
+    /// Causal flow tracing: flow-ID minting, stage events, and per-stage
+    /// latency histograms. Inert (one relaxed load per site) until armed.
+    pub flows: FlowRecorder,
     cqs: Mutex<Vec<(u32, Arc<CqCounters>)>>,
 }
 

@@ -1,6 +1,8 @@
-//! Hand-written JSON writers for the two export artifacts:
-//! `telemetry.json` (full ledger + invariant report) and a chrome-trace
-//! file loadable in `chrome://tracing` / Perfetto.
+//! Hand-written JSON writers for the export artifacts:
+//! `telemetry_<tag>.json` (full ledger + invariant report) and
+//! `trace_<tag>.json` (chrome-trace events plus flow events and stage
+//! histograms for the `trace` analyzer), loadable in `chrome://tracing` /
+//! Perfetto, which ignore the extra top-level keys.
 //!
 //! The workspace has no serde; like the bench result writers, these build
 //! the strings directly. All keys are static and all values are integers
@@ -12,6 +14,8 @@ use std::io;
 use std::path::Path;
 
 use crate::counters::STATUS_NAMES;
+use crate::flow::{FlowEvent, FlowStage};
+use crate::hist::HistSnapshot;
 use crate::invariants::Report;
 use crate::snapshot::Snapshot;
 use crate::trace::SpanEvent;
@@ -201,6 +205,120 @@ fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
+/// Write the full trace artifact for one run at `path`: chrome-trace span
+/// events plus, when flow tracing was armed, flow arrows ("s"/"f" pairs
+/// linking each flow's post to its arrival), the raw flow-event list, and
+/// the per-stage latency histograms. Chrome-trace viewers render the
+/// `traceEvents` array and ignore the extra keys; the `trace` analyzer
+/// reads `flows` and `stages`.
+pub fn write_trace_json(
+    path: &Path,
+    workload: &str,
+    spans: &[SpanEvent],
+    flows: &[FlowEvent],
+    stages: &[(&str, HistSnapshot)],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, trace_json(workload, spans, flows, stages))
+}
+
+fn trace_json(
+    workload: &str,
+    spans: &[SpanEvent],
+    flows: &[FlowEvent],
+    stages: &[(&str, HistSnapshot)],
+) -> String {
+    let mut s = String::with_capacity(256 + spans.len() * 128 + flows.len() * 48);
+    let _ = write!(
+        s,
+        "{{\"meta\": {{\"workload\": \"{}\", \"format\": 1}},\n\"traceEvents\": [",
+        escape(workload)
+    );
+    let mut first = true;
+    for e in spans {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "\n  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": {}, \"tid\": {}, \
+             \"ts\": {}, \"dur\": {}}}",
+            escape(&e.name),
+            escape(e.cat),
+            e.pid,
+            e.tid,
+            micros(e.ts_ns),
+            micros(e.dur_ns),
+        );
+    }
+    // Flow arrows: one "s" at the post, one "f" at the arrival, keyed by
+    // the flow id so viewers draw the causal arrow across lanes.
+    for e in flows {
+        let ph = match e.stage {
+            FlowStage::Posted => "s",
+            FlowStage::Arrived => "f",
+            _ => continue,
+        };
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "\n  {{\"name\": \"flow\", \"cat\": \"flow\", \"ph\": \"{}\", {}\"id\": {}, \
+             \"pid\": {}, \"tid\": {}, \"ts\": {}}}",
+            ph,
+            if ph == "f" { "\"bp\": \"e\", " } else { "" },
+            e.flow,
+            if ph == "s" { 0 } else { 1 },
+            e.qp,
+            micros(e.ts_ns),
+        );
+    }
+    s.push_str("\n],\n\"flows\": [");
+    for (i, e) in flows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n  [{}, \"{}\", {}, {}, {}, {}]",
+            e.flow,
+            e.stage.name(),
+            e.ts_ns,
+            e.qp,
+            e.chan,
+            e.aux,
+        );
+    }
+    s.push_str("\n],\n\"stages\": {");
+    for (i, (name, snap)) in stages.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n  \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+            escape(name),
+            snap.count,
+            snap.sum,
+            snap.max,
+        );
+        for (j, b) in snap.buckets.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "[{}, {}, {}]", b.lo, b.hi, b.count);
+        }
+        s.push_str("]}");
+    }
+    s.push_str("\n},\n\"displayTimeUnit\": \"ns\"}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +363,41 @@ mod tests {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
         assert!(text.contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn trace_json_carries_flows_and_stages() {
+        use crate::flow::{FlowEvent, FlowStage};
+        use crate::hist::LogHistogram;
+        let flows = vec![
+            FlowEvent {
+                flow: 3,
+                stage: FlowStage::Posted,
+                ts_ns: 100,
+                qp: 9,
+                chan: 1,
+                aux: 0,
+            },
+            FlowEvent {
+                flow: 3,
+                stage: FlowStage::Arrived,
+                ts_ns: 900,
+                qp: 9,
+                chan: 1,
+                aux: 4,
+            },
+        ];
+        let h = LogHistogram::new();
+        h.record(800);
+        let stages = vec![("wire_ns", h.snapshot())];
+        let text = trace_json("unit", &[], &flows, &stages);
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(text.contains("\"workload\": \"unit\""));
+        assert!(text.contains("[3, \"posted\", 100, 9, 1, 0]"));
+        assert!(text.contains("\"ph\": \"s\""));
+        assert!(text.contains("\"ph\": \"f\""));
+        assert!(text.contains("\"wire_ns\": {\"count\": 1"));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 #![warn(missing_docs)]
 
 mod counters;
+mod expo;
+mod flow;
+mod hist;
 mod json;
 mod snapshot;
 mod trace;
@@ -34,7 +37,12 @@ pub use counters::{
     segments_for, ArenaCounters, Counter, CqCounters, QpCounters, Registry, RuntimeCounters,
     WireCounters, STATUS_NAMES, STATUS_SLOTS,
 };
-pub use json::{write_chrome_trace, write_telemetry_json};
+pub use expo::{exposition, write_exposition};
+pub use flow::{
+    ClockHook, FlowEvent, FlowLog, FlowRecorder, FlowStage, StageHistograms, STAGE_HIST_NAMES,
+};
+pub use hist::{HistBucket, HistSnapshot, LogHistogram};
+pub use json::{write_chrome_trace, write_telemetry_json, write_trace_json};
 pub use snapshot::{
     ArenaSnapshot, CqSnapshot, QpSnapshot, RuntimeSnapshot, Snapshot, WireSnapshot,
 };

@@ -171,6 +171,8 @@ mod tests {
             byte_len: 0,
             imm: None,
             qp_num: 0,
+            flow: 0,
+            pushed_ns: 0,
         }
     }
 

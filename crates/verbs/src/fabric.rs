@@ -90,6 +90,10 @@ pub struct TransferJob {
     /// deliver payload (subject to the PSN check) but must never produce a
     /// send-side completion or touch the sender's outstanding-WR slot.
     pub ghost: bool,
+    /// Causal-trace flow identifier copied from the posting WR (0 =
+    /// untraced). Clones — retransmissions, ghost duplicates — keep it, so
+    /// every wire attempt of a message traces back to one flow.
+    pub flow: u64,
     /// Software-path timing options.
     pub opts: PostOptions,
 }
@@ -155,6 +159,13 @@ pub fn execute_delivery_ext(
             if job.ghost {
                 wire.delivered_ghost.inc();
             }
+            net.telemetry().flows.event(
+                job.flow,
+                partix_telemetry::FlowStage::Delivered,
+                job.src_qp,
+                0,
+                *bytes as u64,
+            );
             // Every opcode except a bare RDMA write pushes a receive CQE on
             // delivery; mirrored against the CQ-side `recv_pushed` count.
             if job.opcode != Opcode::RdmaWrite {
@@ -262,6 +273,8 @@ fn deliver(net: &Arc<NetworkState>, job: &TransferJob, copy_data: bool) -> Deliv
             byte_len: job.total_len,
             imm: job.imm,
             qp_num: dst_qp.qp_num(),
+            flow: job.flow,
+            pushed_ns: net.telemetry().flows.now(),
         });
         return DeliveryOutcome::Delivered {
             bytes: job.total_len,
@@ -315,6 +328,8 @@ fn deliver(net: &Arc<NetworkState>, job: &TransferJob, copy_data: bool) -> Deliv
             byte_len: job.total_len,
             imm: job.imm,
             qp_num: dst_qp.qp_num(),
+            flow: job.flow,
+            pushed_ns: net.telemetry().flows.now(),
         });
     }
     DeliveryOutcome::Delivered {
@@ -356,6 +371,8 @@ pub fn complete_send(net: &Arc<NetworkState>, job: &TransferJob, status: WcStatu
         byte_len: job.total_len,
         imm: None,
         qp_num: src_qp.qp_num(),
+        flow: job.flow,
+        pushed_ns: net.telemetry().flows.now(),
     });
 }
 

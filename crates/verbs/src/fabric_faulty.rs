@@ -177,6 +177,7 @@ mod tests {
             rkey: dst.rkey(),
             imm: Some(0),
             inline_data: false,
+            flow: 0,
         };
         qb.post_recv(RecvWr::bare(0)).unwrap();
         qb.post_recv(RecvWr::bare(1)).unwrap();

@@ -44,6 +44,14 @@ impl Fabric for InstantFabric {
         self.bytes
             .fetch_add(job.total_len as u64, Ordering::Relaxed);
         net.telemetry().wire.inner_submissions.inc();
+        // Zero-latency mode: the wire stage exists but takes no time.
+        net.telemetry().flows.event(
+            job.flow,
+            partix_telemetry::FlowStage::WireSubmit,
+            job.src_qp,
+            0,
+            0,
+        );
         // Receiver-not-ready triggers the QP's bounded RNR retry loop: with
         // real threads the receiver may be about to post its WR, so each
         // attempt yields the CPU first (the zero-latency analogue of waiting

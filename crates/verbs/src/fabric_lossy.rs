@@ -223,6 +223,17 @@ impl LossyFabric {
                     // attempt (exponential backoff).
                     let backoff =
                         sender_retry_profile(net, &job).map_or(4_096, |p| p.backoff_ns(tries));
+                    let flows = &net.telemetry().flows;
+                    flows.event(
+                        job.flow,
+                        partix_telemetry::FlowStage::Retransmit,
+                        job.src_qp,
+                        0,
+                        backoff,
+                    );
+                    if job.flow != 0 {
+                        flows.stage_ns(|s| &s.retrans_wait, backoff);
+                    }
                     let me = self.me.clone();
                     let net = net.clone();
                     sched.after(SimDuration::from_nanos(backoff), move || {
@@ -231,7 +242,17 @@ impl LossyFabric {
                         }
                     });
                 }
-                None => self.attempt(net, job, tries + 1),
+                None => {
+                    // Instant mode: the retry is immediate, zero backoff.
+                    net.telemetry().flows.event(
+                        job.flow,
+                        partix_telemetry::FlowStage::Retransmit,
+                        job.src_qp,
+                        0,
+                        0,
+                    );
+                    self.attempt(net, job, tries + 1)
+                }
             }
             return;
         }
@@ -316,6 +337,7 @@ mod tests {
                     rkey: self.dst.rkey(),
                     imm: Some(0),
                     inline_data: false,
+                    flow: 0,
                 })
                 .unwrap();
         }

@@ -312,6 +312,24 @@ impl Fabric for SimFabric {
         self.stats.transfers.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
 
+        // Flow tracing: both the doorbell instant and the delivery instant
+        // fall out of the reservation arithmetic above, so the wire-time
+        // sample is recorded passively here — no extra scheduler events,
+        // keeping traced runs byte-identical to untraced ones.
+        let flows = &net.telemetry().flows;
+        let wire_ns = delivered.saturating_since(doorbell).as_nanos();
+        flows.event_at(
+            job.flow,
+            partix_telemetry::FlowStage::WireSubmit,
+            doorbell.as_nanos(),
+            job.src_qp,
+            0,
+            wire_ns,
+        );
+        if job.flow != 0 {
+            flows.stage_ns(|s| &s.wire, wire_ns);
+        }
+
         // Delivery event: move the data, push the receive completion, then
         // schedule the send-side ack. Receiver-not-ready re-arms the
         // delivery after the RNR timer instead of failing outright.
@@ -345,6 +363,18 @@ fn deliver_with_rnr_retry(
             if attempt < profile.rnr_retry {
                 net.telemetry().wire.rnr_requeues.inc();
                 let wait = SimDuration::from_nanos(profile.min_rnr_timer_ns.max(1));
+                let flows = &net.telemetry().flows;
+                flows.event_at(
+                    job.flow,
+                    partix_telemetry::FlowStage::RnrWait,
+                    sched.now().as_nanos(),
+                    job.src_qp,
+                    0,
+                    wait.as_nanos(),
+                );
+                if job.flow != 0 {
+                    flows.stage_ns(|s| &s.rnr_wait, wait.as_nanos());
+                }
                 let sched2 = sched.clone();
                 let net2 = net.clone();
                 sched.after(wait, move || {
@@ -409,6 +439,7 @@ mod tests {
             rkey: dst.rkey(),
             imm: Some(0),
             inline_data: false,
+            flow: 0,
         })
         .unwrap();
         sched.run();

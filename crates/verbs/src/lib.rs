@@ -47,6 +47,7 @@
 //!     rkey: dst.rkey(),
 //!     imm: Some(imm::encode(0, 8)),
 //!     inline_data: false,
+//!     flow: 0,
 //! }).unwrap();
 //!
 //! let wc = cqb.poll_one().unwrap();
@@ -84,7 +85,8 @@ pub use memory::MemoryRegion;
 pub use network::{connect_pair, Context, Network, NetworkState, NodeCtx, ProtectionDomain};
 pub use partix_telemetry as telemetry;
 pub use partix_telemetry::{
-    invariants, CqCounters, QpCounters, Registry, Snapshot, SpanEvent, SpanLog, WireCounters,
+    invariants, CqCounters, FlowEvent, FlowLog, FlowRecorder, FlowStage, HistSnapshot,
+    LogHistogram, QpCounters, Registry, Snapshot, SpanEvent, SpanLog, WireCounters,
 };
 pub use qp::{PeerId, QpCaps, QueuePair, RetryProfile};
 pub use types::{

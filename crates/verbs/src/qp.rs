@@ -563,6 +563,7 @@ impl QueuePair {
                 inline_payload: snapshot,
                 psn: self.assign_psn(),
                 ghost: false,
+                flow: wr.flow,
                 opts,
             };
             self.fabric.submit(&net, job);

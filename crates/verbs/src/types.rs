@@ -70,6 +70,11 @@ pub struct SendWr {
     /// deliberately does not use). Requires `total length <=
     /// QpCaps::max_inline_data`.
     pub inline_data: bool,
+    /// Causal-trace flow identifier minted by the aggregation layer, or 0
+    /// when tracing is off. Carried onto the wire and echoed in both the
+    /// send- and receive-side completions; retransmissions and recovery
+    /// re-posts keep the original flow.
+    pub flow: u64,
 }
 
 impl Default for SendWr {
@@ -82,6 +87,7 @@ impl Default for SendWr {
             rkey: 0,
             imm: None,
             inline_data: false,
+            flow: 0,
         }
     }
 }
@@ -153,6 +159,12 @@ pub struct WorkCompletion {
     pub imm: Option<u32>,
     /// QP number the completion belongs to (local).
     pub qp_num: u32,
+    /// Causal-trace flow identifier of the originating WR (0 = untraced).
+    pub flow: u64,
+    /// Nanosecond timestamp at which the CQE was pushed, stamped by the
+    /// fabric from the flow recorder's clock (0 when tracing is off). Lets
+    /// the progress engine compute CQ-poll lag without a side table.
+    pub pushed_ns: u64,
 }
 
 /// Big-endian 32-bit immediate helpers. The paper encodes the starting user

@@ -111,6 +111,7 @@ fn concurrent_senders_one_progress_thread() {
                         rkey: dst.rkey(),
                         imm: Some(wr_id as u32),
                         inline_data: false,
+                        flow: 0,
                     })
                     .unwrap();
                 }

@@ -59,6 +59,7 @@ fn send_scatters_into_recv_buffers() {
         rkey: 0,
         imm: Some(0xCAFE),
         inline_data: false,
+        flow: 0,
     })
     .unwrap();
 
@@ -112,6 +113,7 @@ fn oversized_send_is_local_length_error() {
         rkey: 0,
         imm: None,
         inline_data: false,
+        flow: 0,
     })
     .unwrap();
     let wc = cqa.poll_one().unwrap();
@@ -217,6 +219,7 @@ fn two_sided_over_sim_fabric() {
         rkey: 0,
         imm: None,
         inline_data: false,
+        flow: 0,
     })
     .unwrap();
     assert!(cqb.poll_one().is_none(), "nothing before the sim runs");
@@ -275,6 +278,7 @@ fn inline_send_snapshots_payload_at_post_time() {
         rkey: dst2.rkey(),
         imm: Some(0),
         inline_data: true,
+        flow: 0,
     })
     .unwrap();
     // Scribble before the simulated wire delivers: the receiver must still
@@ -297,6 +301,7 @@ fn inline_send_snapshots_payload_at_post_time() {
         rkey: dst2.rkey(),
         imm: Some(0),
         inline_data: false,
+        flow: 0,
     })
     .unwrap();
     src2.fill(0, 64, 0x99).unwrap();
@@ -318,6 +323,7 @@ fn inline_send_snapshots_payload_at_post_time() {
             rkey: dst.rkey(),
             imm: None,
             inline_data: true,
+            flow: 0,
         })
         .unwrap_err();
     assert_eq!(

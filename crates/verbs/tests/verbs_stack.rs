@@ -101,6 +101,7 @@ fn write_with_imm(
             rkey: dst.rkey(),
             imm: Some(imm_val),
             inline_data: false,
+            flow: 0,
         })
         .unwrap();
     (src, dst)
@@ -197,6 +198,7 @@ fn sim_multiple_qps_increase_bandwidth() {
                 rkey: dst.rkey(),
                 imm: Some(0),
                 inline_data: false,
+                flow: 0,
             })
             .unwrap();
         }
@@ -247,6 +249,7 @@ fn send_queue_cap_enforced() {
         rkey: dst.rkey(),
         imm: None,
         inline_data: false,
+        flow: 0,
     };
     // The paper's hardware takes 16 concurrent RDMA WRs per QP.
     for i in 0..16 {
@@ -300,6 +303,7 @@ fn send_slots_recycle_after_completion() {
                 rkey: dst.rkey(),
                 imm: None,
                 inline_data: false,
+                flow: 0,
             })
             .unwrap();
     }
@@ -344,6 +348,7 @@ fn rdma_write_without_recv_wr_is_rnr() {
             rkey: dst.rkey(),
             imm: Some(0),
             inline_data: false,
+            flow: 0,
         })
         .unwrap();
     let wc = pair.cq_a_send.poll_one().unwrap();
@@ -391,6 +396,7 @@ fn wrong_rkey_is_remote_access_error() {
             rkey: dst.rkey() ^ 0xdead,
             imm: Some(0),
             inline_data: false,
+            flow: 0,
         })
         .unwrap();
     let wc = pair.cq_a_send.poll_one().unwrap();
@@ -420,6 +426,7 @@ fn post_send_requires_rts() {
         rkey: 0,
         imm: None,
         inline_data: false,
+        flow: 0,
     };
     assert!(matches!(
         qp.post_send(wr),
@@ -479,6 +486,7 @@ fn gather_list_concatenates_segments() {
             rkey: dst.rkey(),
             imm: Some(0),
             inline_data: false,
+            flow: 0,
         })
         .unwrap();
     let mut expected = vec![1u8; 16];
@@ -531,6 +539,7 @@ fn pd_mismatch_rejected() {
             rkey: dst.rkey(),
             imm: None,
             inline_data: false,
+            flow: 0,
         })
         .unwrap_err();
     assert_eq!(err, VerbsError::ProtectionDomainMismatch);

@@ -221,11 +221,14 @@ impl Driver {
 /// the world alongside the result so callers can inspect post-run state
 /// (telemetry ledger, fabric statistics). Install `sink` (e.g. a profiler)
 /// before any event fires, when provided; `span_log`, when provided, turns
-/// on resource span tracing for the whole run.
+/// on resource span tracing for the whole run; `flow_log`, when provided,
+/// turns on causal flow tracing (per-message stage events and residency
+/// histograms).
 pub fn run_pt2pt_observed(
     cfg: &Pt2PtConfig,
     sink: Option<Arc<dyn partix_core::EventSink>>,
     span_log: Option<Arc<partix_core::SpanLog>>,
+    flow_log: Option<Arc<partix_core::telemetry::FlowLog>>,
 ) -> (Pt2PtResult, World) {
     let (world, sched) = World::sim(2, cfg.partix.clone());
     if let Some(s) = sink {
@@ -233,6 +236,9 @@ pub fn run_pt2pt_observed(
     }
     if let Some(log) = span_log {
         world.enable_tracing(log);
+    }
+    if let Some(log) = flow_log {
+        world.enable_flow_tracing(log);
     }
     let p0 = world.proc(0);
     let p1 = world.proc(1);
@@ -302,7 +308,7 @@ pub fn run_pt2pt_with_sink(
     cfg: &Pt2PtConfig,
     sink: Option<Arc<dyn partix_core::EventSink>>,
 ) -> Pt2PtResult {
-    run_pt2pt_observed(cfg, sink, None).0
+    run_pt2pt_observed(cfg, sink, None, None).0
 }
 
 /// [`run_pt2pt_with_sink`] without instrumentation.

@@ -1,19 +1,30 @@
 //! Fully-observed experiment runs: telemetry snapshot + invariant report +
-//! chrome-trace spans from one workload execution.
+//! chrome-trace spans + causal flow trace from one workload execution.
 //!
 //! This is the `--trace` backend of the benchmark binaries: run a workload
-//! with the profiler and resource span tracing attached, freeze the
-//! telemetry ledger at quiescence, reconcile it against the conservation
-//! laws, and (optionally) write `telemetry.json` and a chrome-trace
-//! `trace.json` next to the other result artifacts. Open the trace file at
-//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//! with the profiler, resource span tracing, and causal flow tracing
+//! attached; freeze the telemetry ledger at quiescence; reconcile it against
+//! the conservation laws; and (optionally) write the artifacts next to the
+//! other results. Open the trace file at `chrome://tracing` or
+//! <https://ui.perfetto.dev>, or feed it to the `trace` analyzer binary.
+//!
+//! # Artifact naming
+//!
+//! [`TraceArtifacts::write_to`] takes a workload *tag* and writes
+//! `telemetry_<tag>.json` and `trace_<tag>.json`, so traced runs of
+//! different workloads into one `results/` directory never overwrite each
+//! other. Tags are lowercase `[a-z0-9_]` identifiers (e.g. `figure9`,
+//! `fault_chaos`); the binaries derive them from the sweep cell they are
+//! tracing.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use partix_core::telemetry::{write_chrome_trace, write_telemetry_json};
+use partix_core::telemetry::{
+    write_telemetry_json, write_trace_json, FlowEvent, FlowLog, HistSnapshot,
+};
 use partix_core::{invariants, Snapshot, SpanEvent, SpanLog};
-use partix_profiler::{chrome_spans, Profiler};
+use partix_profiler::{assemble_chains, chrome_spans, Profiler};
 
 use crate::runner::{run_pt2pt_observed, Pt2PtConfig, Pt2PtResult};
 
@@ -28,14 +39,39 @@ pub struct TraceArtifacts {
     /// Merged span timeline: fabric resource occupancy plus profiler
     /// round/partition phases, sorted by start time.
     pub spans: Vec<SpanEvent>,
+    /// Causal flow events, sorted by `(flow, ts, stage)`.
+    pub flows: Vec<FlowEvent>,
+    /// Per-stage residency histogram snapshots.
+    pub stages: Vec<(&'static str, HistSnapshot)>,
 }
 
 impl TraceArtifacts {
-    /// Write `telemetry.json` (ledger + invariant verdict) and
-    /// `trace.json` (chrome-trace) into `dir`, creating it if needed.
-    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
-        write_telemetry_json(&dir.join("telemetry.json"), &self.snapshot, &self.report)?;
-        write_chrome_trace(&dir.join("trace.json"), &self.spans)
+    /// Write `telemetry_<tag>.json` (ledger + invariant verdict) and
+    /// `trace_<tag>.json` (chrome-trace + flow events + stage histograms)
+    /// into `dir`, creating it if needed.
+    pub fn write_to(&self, dir: &Path, tag: &str) -> std::io::Result<()> {
+        write_telemetry_json(
+            &dir.join(format!("telemetry_{tag}.json")),
+            &self.snapshot,
+            &self.report,
+        )?;
+        write_trace_json(
+            &dir.join(format!("trace_{tag}.json")),
+            tag,
+            &self.spans,
+            &self.flows,
+            &self.stages,
+        )
+    }
+
+    /// Causal-chain violations across every arrived flow (empty on a
+    /// healthy trace): missing spans or non-monotone `post ≤ wire ≤ CQE ≤
+    /// arrival` orderings, including across retransmits.
+    pub fn chain_violations(&self) -> Vec<String> {
+        assemble_chains(&self.flows)
+            .iter()
+            .flat_map(|c| c.violations())
+            .collect()
     }
 }
 
@@ -43,17 +79,27 @@ impl TraceArtifacts {
 pub fn run_traced(cfg: &Pt2PtConfig) -> TraceArtifacts {
     let profiler = Arc::new(Profiler::new());
     let log = SpanLog::new();
-    let (result, world) = run_pt2pt_observed(cfg, Some(profiler.clone()), Some(log.clone()));
+    let flow_log = FlowLog::new();
+    let (result, world) = run_pt2pt_observed(
+        cfg,
+        Some(profiler.clone()),
+        Some(log.clone()),
+        Some(flow_log.clone()),
+    );
     let snapshot = world.telemetry_snapshot();
     let report = invariants::check(&snapshot);
     let mut spans = log.sorted();
     spans.extend(chrome_spans(&profiler));
     spans.sort_by_key(|s| (s.ts_ns, s.pid, s.tid));
+    let flows = flow_log.sorted();
+    let stages = world.telemetry().flows.stages.snapshot();
     TraceArtifacts {
         result,
         snapshot,
         report,
         spans,
+        flows,
+        stages,
     }
 }
 
@@ -61,6 +107,7 @@ pub fn run_traced(cfg: &Pt2PtConfig) -> TraceArtifacts {
 mod tests {
     use super::*;
     use crate::noise::ThreadTiming;
+    use partix_core::telemetry::FlowStage;
     use partix_core::{AggregatorKind, PartixConfig};
 
     fn cfg(kind: AggregatorKind) -> Pt2PtConfig {
@@ -89,6 +136,23 @@ mod tests {
         // The ledger saw the workload: 8 partitions x 4 rounds.
         assert_eq!(art.snapshot.runtime.preadys, 32);
         assert!(art.snapshot.wire.delivered > 0);
+        // Every posted WR minted a flow, each causally complete.
+        assert_eq!(
+            art.flows
+                .iter()
+                .filter(|e| e.stage == FlowStage::Posted)
+                .count() as u64,
+            art.result.total_wrs
+        );
+        assert!(art.chain_violations().is_empty());
+        // Stage histograms saw wire time for every transfer.
+        let wire = art
+            .stages
+            .iter()
+            .find(|(n, _)| *n == "wire_ns")
+            .map(|(_, h)| h.count)
+            .unwrap_or(0);
+        assert_eq!(wire, art.result.total_wrs);
     }
 
     #[test]
@@ -110,11 +174,13 @@ mod tests {
     fn artifacts_write_valid_files() {
         let art = run_traced(&cfg(AggregatorKind::Persistent));
         let dir = std::env::temp_dir().join(format!("partix-trace-test-{}", std::process::id()));
-        art.write_to(&dir).unwrap();
-        let tel = std::fs::read_to_string(dir.join("telemetry.json")).unwrap();
+        art.write_to(&dir, "persistent").unwrap();
+        let tel = std::fs::read_to_string(dir.join("telemetry_persistent.json")).unwrap();
         assert!(tel.contains("\"clean\": true"));
-        let tr = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let tr = std::fs::read_to_string(dir.join("trace_persistent.json")).unwrap();
         assert!(tr.contains("\"traceEvents\""));
+        assert!(tr.contains("\"flows\""));
+        assert!(tr.contains("\"stages\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -115,6 +115,7 @@ impl Msg {
             rkey: self.dst.rkey(),
             imm: Some(wr_id as u32),
             inline_data: self.inline,
+            flow: 0,
         }
     }
 }

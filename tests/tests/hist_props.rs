@@ -1,0 +1,123 @@
+//! Property tests over the log-bucketed latency histogram
+//! (`partix_telemetry::LogHistogram`), the storage behind every per-stage
+//! residency distribution in the causal-tracing subsystem:
+//!
+//! - count and sum are conserved exactly for arbitrary inputs;
+//! - snapshot buckets are monotone, disjoint, and each holds only values
+//!   inside its `[lo, hi)` bounds;
+//! - `merge(a, b)` is indistinguishable from recording the union;
+//! - quantiles are monotone in `q`, bracketed by min and max, and
+//!   `quantile(1.0)` is the exact maximum.
+//!
+//! The vendored proptest is deterministic (seeded from the test name, no
+//! shrinking), so a green run is reproducible.
+
+use partix_verbs::telemetry::LogHistogram;
+use proptest::prelude::*;
+
+/// Arbitrary latency samples: spread across the full bucket range
+/// (sub-octave linear values through multi-second nanosecond counts)
+/// while keeping sums comfortably inside u64. The class selector steers
+/// each raw draw into one of four magnitude bands.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u8..4, 0u64..(1 << 48)), 1..64).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(class, raw)| match class {
+                0 => raw % 16,                    // linear sub-bucket region
+                1 => 16 + raw % (4096 - 16),      // low octaves
+                2 => 1_000 + raw % 10_000_000,    // typical stage residencies
+                _ => (1 << 40) + raw % (1 << 47), // pathological stalls
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Count/sum conservation and exact max tracking.
+    #[test]
+    fn count_sum_max_conserved(vals in samples()) {
+        let h = LogHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, vals.len() as u64);
+        prop_assert_eq!(snap.sum, vals.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, vals.iter().copied().max().unwrap());
+        // The buckets are a partition of the samples: their counts add up.
+        prop_assert_eq!(
+            snap.buckets.iter().map(|b| b.count).sum::<u64>(),
+            snap.count
+        );
+    }
+
+    /// Bucket bounds are monotone and disjoint, and every recorded value
+    /// falls inside the bounds of exactly the bucket population it joined.
+    #[test]
+    fn buckets_are_monotone_and_bounding(vals in samples()) {
+        let h = LogHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for w in snap.buckets.windows(2) {
+            prop_assert!(w[0].hi <= w[1].lo, "buckets overlap or reorder");
+        }
+        for b in &snap.buckets {
+            prop_assert!(b.lo < b.hi);
+            prop_assert!(b.count > 0, "snapshot carries an empty bucket");
+            // The bucket's population is exactly the samples in its bounds.
+            let expect = vals.iter().filter(|&&v| b.lo <= v && v < b.hi).count();
+            prop_assert_eq!(b.count, expect as u64);
+        }
+    }
+
+    /// `merge` is union: merging two histograms produces the same snapshot
+    /// as recording every sample into one.
+    #[test]
+    fn merge_equals_union(a in samples(), b in samples()) {
+        let ha = LogHistogram::new();
+        let hb = LogHistogram::new();
+        let hu = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        let merged = ha.snapshot();
+        let union = hu.snapshot();
+        prop_assert_eq!(merged.count, union.count);
+        prop_assert_eq!(merged.sum, union.sum);
+        prop_assert_eq!(merged.max, union.max);
+        prop_assert_eq!(merged.buckets, union.buckets);
+    }
+
+    /// Quantiles are monotone in `q`, live inside `[min, max]`, and the
+    /// extremes are tight: `quantile(1.0)` is the exact maximum.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(vals in samples()) {
+        let h = LogHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let got: Vec<u64> = qs.iter().map(|&q| snap.quantile(q)).collect();
+        for w in got.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", got);
+        }
+        let max = vals.iter().copied().max().unwrap();
+        prop_assert!(got[0] <= max);
+        prop_assert_eq!(*got.last().unwrap(), max);
+        // Every quantile is at least the smallest sample's bucket floor.
+        let min = vals.iter().copied().min().unwrap();
+        prop_assert!(got[0] >= snap.buckets[0].lo && snap.buckets[0].lo <= min);
+    }
+}

@@ -182,6 +182,7 @@ fn posting_is_gated_on_state() {
         rkey: dst.rkey(),
         imm: Some(0),
         inline_data: false,
+        flow: 0,
     };
 
     // RESET: both directions rejected with the honest state report.

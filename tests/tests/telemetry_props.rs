@@ -38,6 +38,7 @@ fn write_imm(
         rkey: dst.rkey(),
         imm: Some(wr_id as u32),
         inline_data: false,
+        flow: 0,
     })
 }
 

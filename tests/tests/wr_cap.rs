@@ -63,6 +63,7 @@ impl Pair {
             rkey: self.dst.rkey(),
             imm: Some(wr_id as u32),
             inline_data: false,
+            flow: 0,
         })
     }
 }
