@@ -1,8 +1,18 @@
 //! The parallel harness must be invisible in the results: every experiment
 //! cell is a separately seeded simulation, so fanning cells across worker
 //! threads may only change wall-clock time, never a byte of output.
+//!
+//! Covered across the full `--jobs 1/2/4/8` matrix: the figure harnesses
+//! (fig12, fig13), the overhead benchmark (fig6), the perceived-bandwidth
+//! benchmark (fig9), and the fault sweep — whose cells carry the telemetry
+//! ledger counters (drops, retransmits, duplicates, recoveries), so their
+//! equality is also a ledger-equality check.
 
 use partix_bench::experiments::{self, Quality};
+use partix_core::PartixConfig;
+use partix_workloads::FaultSweep;
+
+const JOB_MATRIX: [usize; 3] = [2, 4, 8];
 
 /// A full figure table rendered with 8 worker threads is byte-identical to
 /// the serial rendering (the `--jobs` guarantee documented in the bins).
@@ -29,4 +39,67 @@ fn jobs_exceeding_cells_is_byte_identical() {
     let serial = experiments::fig13_table(Quality::quick().with_jobs(1)).render();
     let oversub = experiments::fig13_table(Quality::quick().with_jobs(64)).render();
     assert_eq!(serial, oversub);
+}
+
+/// The overhead benchmark (fig6) across the whole jobs matrix.
+#[test]
+fn overhead_harness_is_byte_identical_across_jobs_matrix() {
+    let serial = experiments::fig6_table(Quality::quick().with_jobs(1)).render();
+    for jobs in JOB_MATRIX {
+        let parallel = experiments::fig6_table(Quality::quick().with_jobs(jobs)).render();
+        assert_eq!(serial, parallel, "fig6 diverged at jobs={jobs}");
+    }
+}
+
+/// The perceived-bandwidth benchmark (fig9) across the whole jobs matrix.
+#[test]
+fn perceived_harness_is_byte_identical_across_jobs_matrix() {
+    let render = |jobs: usize| -> String {
+        experiments::fig9_tables(Quality::quick().with_jobs(jobs))
+            .into_iter()
+            .map(|t| t.render())
+            .collect()
+    };
+    let serial = render(1);
+    for jobs in JOB_MATRIX {
+        assert_eq!(serial, render(jobs), "fig9 diverged at jobs={jobs}");
+    }
+}
+
+/// The figure harnesses (fig12, fig13) at the intermediate job counts the
+/// older tests skip.
+#[test]
+fn figure_harnesses_are_byte_identical_across_jobs_matrix() {
+    let serial12 = experiments::fig12_table(Quality::quick().with_jobs(1)).render();
+    let serial13 = experiments::fig13_table(Quality::quick().with_jobs(1)).render();
+    for jobs in JOB_MATRIX {
+        let p12 = experiments::fig12_table(Quality::quick().with_jobs(jobs)).render();
+        let p13 = experiments::fig13_table(Quality::quick().with_jobs(jobs)).render();
+        assert_eq!(serial12, p12, "fig12 diverged at jobs={jobs}");
+        assert_eq!(serial13, p13, "fig13 diverged at jobs={jobs}");
+    }
+}
+
+/// The fault sweep across the jobs matrix: every measured field — including
+/// the telemetry ledger counters (drops, retransmits, duplicates,
+/// recoveries) — must match the serial run exactly. Chaos wires, RNR
+/// retries, and retransmission backoff all run inside each cell, so this is
+/// the strongest "parallelism never perturbs telemetry" check.
+#[test]
+fn fault_sweep_cells_and_ledgers_are_identical_across_jobs_matrix() {
+    let run = |jobs: usize| -> Vec<String> {
+        let mut sweep = FaultSweep::new(PartixConfig::default());
+        sweep.jobs = jobs;
+        sweep.partitions = 8;
+        sweep.part_bytes = 1 << 10;
+        sweep.loss_rates = vec![0.0, 0.05];
+        sweep.warmup = 1;
+        sweep.iters = 5;
+        sweep.run().iter().map(|c| format!("{c:?}")).collect()
+    };
+    let serial = run(1);
+    assert!(!serial.is_empty());
+    for jobs in JOB_MATRIX {
+        assert_eq!(serial, run(jobs), "fault sweep diverged at jobs={jobs}");
+    }
 }

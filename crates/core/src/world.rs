@@ -108,6 +108,10 @@ impl World {
     /// backoff on the virtual clock).
     pub fn sim(ranks: u32, config: PartixConfig) -> (World, Scheduler) {
         let sched = Scheduler::new();
+        // Fabric events carry node affinity (delivery at the receiver,
+        // completions and retransmit timers at the sender); the census lets
+        // tests and the sharded executor confirm routing coverage.
+        sched.enable_node_affinity(ranks);
         let fabric = SimFabric::new(sched.clone(), config.fabric);
         let lossy = config
             .loss
@@ -402,7 +406,11 @@ fn establish(world: &Arc<WorldInner>, s: Arc<SendShared>, r: Arc<RecvShared>) ->
     match &world.sim {
         Some(sched) => {
             let (s2, r2) = (s.clone(), r.clone());
-            sched.after(world.config.setup_delay, move || {
+            // Bring-up completes at the initiating (sender) rank: tag the
+            // event with its node so sharded executors can home it.
+            let src_node = s.proc.rank;
+            let at = sched.now() + world.config.setup_delay;
+            sched.at_node(src_node, at, move || {
                 mark_both(&s2, &r2);
             });
         }

@@ -451,6 +451,26 @@ fn sim_mode_round_with_callbacks() {
     // wait() must refuse to block on the virtual clock for an active round.
     recv.start().unwrap();
     assert_eq!(recv.wait(), Err(PartixError::WouldBlockInSim));
+
+    // Fabric routing carries node affinity: both the sender (completions,
+    // bring-up) and the receiver (deliveries) must have fielded events. The
+    // final slot is the unattributed overflow bucket and stays empty for a
+    // two-rank world.
+    let census = sched.node_event_counts();
+    assert_eq!(
+        census.len(),
+        3,
+        "counters for ranks 0..=2 (last = overflow)"
+    );
+    assert!(
+        census[0] > 0,
+        "sender-side events must carry rank 0 affinity"
+    );
+    assert!(
+        census[1] > 0,
+        "receiver-side events must carry rank 1 affinity"
+    );
+    assert_eq!(census[2], 0, "no events may target out-of-range nodes");
 }
 
 #[test]

@@ -12,7 +12,9 @@
 //!   virtual and wall-clock time,
 //! - [`SerialResource`], the FIFO occupancy primitive used to model QP DMA
 //!   engines, shared links, and software locks,
-//! - seed-splitting helpers for reproducible noise ([`stream_rng`]).
+//! - seed-splitting helpers for reproducible noise ([`stream_rng`]),
+//! - the sharded conservative-sync parallel-DES engine ([`pdes`]) and the
+//!   order-preserving thread fan-out it runs on ([`parallel`]).
 //!
 //! The network *model* (LogGP parameters, per-transfer cost composition)
 //! lives in `partix-verbs`; this crate is mechanism only.
@@ -39,13 +41,17 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod parallel;
+pub mod pdes;
 mod resource;
 mod rng;
 mod scheduler;
+mod slab;
 mod time;
 
 pub use clock::{Clock, RealClock, SimClock, ThreadTimer, TimeSource, Timer};
+pub use parallel::{default_jobs, par_map};
 pub use resource::SerialResource;
 pub use rng::{split_seed, stream_rng};
-pub use scheduler::Scheduler;
+pub use scheduler::{EventKey, Scheduler};
 pub use time::{SimDuration, SimTime};

@@ -36,10 +36,11 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
 
 /// Closures up to this many bytes are stored inline in the event slab
@@ -111,17 +112,32 @@ impl Drop for RawEvent {
     }
 }
 
-/// Heap record: everything ordering needs, nothing else. `Copy`, 24 bytes.
+/// The scheduler's **public total order**: events execute in ascending
+/// `(time, seq)` order, where `seq` is the monotonically increasing number
+/// assigned at scheduling time. Two events never share a key (seqs are
+/// unique), so the order is total and tie-breaking at equal timestamps is
+/// *specified* — scheduling order, not an accident of heap layout. The
+/// sharded PDES engine extends this key with a shard coordinate (see
+/// [`crate::pdes::ShardKey`]); both orders are part of the determinism
+/// contract and are asserted by tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Virtual execution instant.
+    pub time: SimTime,
+    /// Scheduling sequence number, unique per scheduler.
+    pub seq: u64,
+}
+
+/// Heap record: the ordering key plus the slab slot. `Copy`, 24 bytes.
 #[derive(Clone, Copy)]
 struct HeapEntry {
-    time: SimTime,
-    seq: u64,
+    key: EventKey,
     slot: u32,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for HeapEntry {}
@@ -133,62 +149,29 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed so that BinaryHeap (a max-heap) pops the earliest entry.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
-}
-
-const NIL: u32 = u32::MAX;
-
-enum Slot {
-    Vacant { next_free: u32 },
-    Occupied(RawEvent),
 }
 
 struct Queue {
     heap: BinaryHeap<HeapEntry>,
-    slots: Vec<Slot>,
-    free_head: u32,
+    slots: Slab<RawEvent>,
 }
 
 impl Queue {
     fn with_capacity(n: usize) -> Self {
         Queue {
             heap: BinaryHeap::with_capacity(n),
-            slots: Vec::with_capacity(n),
-            free_head: NIL,
+            slots: Slab::with_capacity(n),
         }
     }
+}
 
-    fn insert(&mut self, ev: RawEvent) -> u32 {
-        if self.free_head != NIL {
-            let idx = self.free_head;
-            match std::mem::replace(&mut self.slots[idx as usize], Slot::Occupied(ev)) {
-                Slot::Vacant { next_free } => self.free_head = next_free,
-                Slot::Occupied(_) => unreachable!("free list pointed at an occupied slot"),
-            }
-            idx
-        } else {
-            assert!(self.slots.len() < NIL as usize, "event slab exhausted");
-            self.slots.push(Slot::Occupied(ev));
-            (self.slots.len() - 1) as u32
-        }
-    }
-
-    fn take(&mut self, idx: u32) -> RawEvent {
-        let vacant = Slot::Vacant {
-            next_free: self.free_head,
-        };
-        match std::mem::replace(&mut self.slots[idx as usize], vacant) {
-            Slot::Occupied(ev) => {
-                self.free_head = idx;
-                ev
-            }
-            Slot::Vacant { .. } => unreachable!("heap entry pointed at a vacant slot"),
-        }
-    }
+/// Per-node counts of node-affine events (see [`Scheduler::at_node`]).
+/// Allocated once by [`Scheduler::enable_node_affinity`]; the last slot
+/// collects events whose node id exceeds the configured range.
+struct AffinityCounts {
+    per_node: Box<[AtomicU64]>,
 }
 
 struct Inner {
@@ -199,6 +182,10 @@ struct Inner {
     /// Reusable drain buffer for the batched run loops. Taken (not held)
     /// while events execute, so reentrant `run` calls stay safe.
     batch_buf: Mutex<Vec<RawEvent>>,
+    /// Node-affinity diagnostics, populated lazily by
+    /// [`Scheduler::enable_node_affinity`]. Disabled costs one pointer load
+    /// per `at_node` call.
+    affinity: OnceLock<AffinityCounts>,
 }
 
 /// Handle to the discrete-event simulation. Cheap to clone; all clones share
@@ -234,6 +221,7 @@ impl Scheduler {
                 executed: AtomicU64::new(0),
                 queue: Mutex::new(Queue::with_capacity(events)),
                 batch_buf: Mutex::new(Vec::with_capacity(MAX_BATCH.min(events.max(16)))),
+                affinity: OnceLock::new(),
             }),
         }
     }
@@ -265,13 +253,61 @@ impl Scheduler {
     /// logic error; the event is clamped to "now" so the simulation still
     /// makes progress, which keeps real-time-adjacent code robust.
     pub fn at(&self, t: SimTime, f: impl FnOnce() + Send + 'static) {
+        self.at_keyed(t, f);
+    }
+
+    /// Schedule `f` at `t` and return the [`EventKey`] it was assigned —
+    /// the event's position in the scheduler's public `(time, seq)` total
+    /// order. Two events at the same instant execute in ascending `seq`.
+    pub fn at_keyed(&self, t: SimTime, f: impl FnOnce() + Send + 'static) -> EventKey {
         let now = self.now();
         let t = t.max(now);
         let seq = self.inner.seq.fetch_add(1, AtomicOrdering::Relaxed);
         let ev = RawEvent::new(f);
         let mut q = self.inner.queue.lock();
-        let slot = q.insert(ev);
-        q.heap.push(HeapEntry { time: t, seq, slot });
+        let slot = q.slots.insert(ev);
+        let key = EventKey { time: t, seq };
+        q.heap.push(HeapEntry { key, slot });
+        key
+    }
+
+    /// Schedule `f` at `t` with **node affinity**: the event logically
+    /// belongs to simulated node `node` (a wire delivery arriving there, a
+    /// completion surfacing on its CQ). On this sequential scheduler the
+    /// execution order is unchanged — affinity feeds the per-node event
+    /// census ([`node_event_counts`](Self::node_event_counts)) that sizes
+    /// and balances sharded PDES runs, and gives fabric/runtime call sites
+    /// one routing API shared with [`crate::pdes::Pdes`].
+    pub fn at_node(&self, node: u32, t: SimTime, f: impl FnOnce() + Send + 'static) -> EventKey {
+        if let Some(a) = self.inner.affinity.get() {
+            let idx = (node as usize).min(a.per_node.len() - 1);
+            a.per_node[idx].fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        self.at_keyed(t, f)
+    }
+
+    /// Turn on per-node affinity counting for node ids `0..nodes` (one
+    /// overflow slot collects ids beyond the range). Idempotent; the first
+    /// call wins. Counting is off by default so `at_node` costs the same as
+    /// `at` in production runs.
+    pub fn enable_node_affinity(&self, nodes: u32) {
+        self.inner.affinity.get_or_init(|| AffinityCounts {
+            per_node: (0..=nodes.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        });
+    }
+
+    /// Per-node counts of node-affine events scheduled so far (empty when
+    /// affinity tracking was never enabled). Index `nodes` — the final
+    /// slot — counts out-of-range ids.
+    pub fn node_event_counts(&self) -> Vec<u64> {
+        match self.inner.affinity.get() {
+            Some(a) => a
+                .per_node
+                .iter()
+                .map(|c| c.load(AtomicOrdering::Relaxed))
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Schedule `f` to run `d` after the current virtual time.
@@ -287,16 +323,16 @@ impl Scheduler {
             let mut q = self.inner.queue.lock();
             match q.heap.pop() {
                 Some(e) => {
-                    let ev = q.take(e.slot);
+                    let ev = q.slots.take(e.slot);
                     (e, ev)
                 }
                 None => return false,
             }
         };
-        debug_assert!(entry.time >= self.now(), "event queue went backwards");
+        debug_assert!(entry.key.time >= self.now(), "event queue went backwards");
         self.inner
             .now
-            .store(entry.time.as_nanos(), AtomicOrdering::Release);
+            .store(entry.key.time.as_nanos(), AtomicOrdering::Release);
         self.inner.executed.fetch_add(1, AtomicOrdering::Relaxed);
         ev.run();
         true
@@ -315,19 +351,19 @@ impl Scheduler {
         let mut q = self.inner.queue.lock();
         let first = *q.heap.peek()?;
         if let Some(d) = deadline {
-            if first.time > d {
+            if first.key.time > d {
                 return None;
             }
         }
-        let t = first.time;
+        let t = first.key.time;
         q.heap.pop();
-        let first_ev = q.take(first.slot);
+        let first_ev = q.slots.take(first.slot);
         let mut n = 1;
         while n < MAX_BATCH {
             match q.heap.peek() {
-                Some(e) if e.time == t => {
+                Some(e) if e.key.time == t => {
                     let e = q.heap.pop().expect("peeked entry");
-                    let ev = q.take(e.slot);
+                    let ev = q.slots.take(e.slot);
                     out.push(ev);
                     n += 1;
                 }
@@ -408,7 +444,7 @@ impl Scheduler {
     /// ever been live at once. Steady-state workloads should see this
     /// plateau while `events_executed` keeps climbing.
     pub fn slab_high_water(&self) -> usize {
-        self.inner.queue.lock().slots.len()
+        self.inner.queue.lock().slots.high_water()
     }
 }
 
@@ -598,6 +634,53 @@ mod tests {
         }
         sim.run();
         assert_eq!(*log.lock(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_keys_expose_the_total_order() {
+        let sim = Scheduler::new();
+        let k1 = sim.at_keyed(SimTime(10), || {});
+        let k2 = sim.at_keyed(SimTime(10), || {});
+        let k3 = sim.at_keyed(SimTime(5), || {});
+        // Same instant: scheduling order is the specified tie-break.
+        assert!(k1 < k2, "same-time keys must order by seq");
+        // Earlier instant beats a smaller seq.
+        assert!(k3 < k1 && k3.seq > k1.seq);
+        assert_eq!(k1.time, SimTime(10));
+        sim.run();
+    }
+
+    #[test]
+    fn key_order_matches_execution_order() {
+        let sim = Scheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut keys = Vec::new();
+        for (t, tag) in [(30u64, 'c'), (10, 'a'), (10, 'b'), (20, 'd')] {
+            let log = log.clone();
+            keys.push((sim.at_keyed(SimTime(t), move || log.lock().push(tag)), tag));
+        }
+        sim.run();
+        let mut by_key = keys.clone();
+        by_key.sort_by_key(|(k, _)| *k);
+        let expect: Vec<char> = by_key.into_iter().map(|(_, tag)| tag).collect();
+        assert_eq!(*log.lock(), expect);
+    }
+
+    #[test]
+    fn node_affinity_census() {
+        let sim = Scheduler::new();
+        sim.enable_node_affinity(2);
+        sim.at_node(0, SimTime(1), || {});
+        sim.at_node(1, SimTime(2), || {});
+        sim.at_node(1, SimTime(3), || {});
+        sim.at_node(99, SimTime(4), || {}); // out of range -> overflow slot
+        sim.run();
+        assert_eq!(sim.node_event_counts(), vec![1, 2, 1]);
+        // Disabled tracking reports nothing.
+        let quiet = Scheduler::new();
+        quiet.at_node(0, SimTime(1), || {});
+        quiet.run();
+        assert!(quiet.node_event_counts().is_empty());
     }
 
     #[test]

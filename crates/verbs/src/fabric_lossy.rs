@@ -236,7 +236,11 @@ impl LossyFabric {
                     }
                     let me = self.me.clone();
                     let net = net.clone();
-                    sched.after(SimDuration::from_nanos(backoff), move || {
+                    // The timeout fires on the sender's NIC: source-node
+                    // affinity for sharded executors.
+                    let src_node = job.src_node;
+                    let at = sched.now() + SimDuration::from_nanos(backoff);
+                    sched.at_node(src_node, at, move || {
                         if let Some(me) = me.upgrade() {
                             me.attempt(&net, job, tries + 1);
                         }

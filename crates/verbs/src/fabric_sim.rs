@@ -337,7 +337,9 @@ impl Fabric for SimFabric {
         let sched = self.sched.clone();
         let copy_data = p.copy_data;
         let ack_latency = SimDuration::from_nanos_f64(p.loggp.l);
-        self.sched.at(recv_visible, move || {
+        // Delivery executes on the receiver: route with destination-node
+        // affinity so a sharded executor can home it correctly.
+        self.sched.at_node(dst_node, recv_visible, move || {
             deliver_with_rnr_retry(&sched, &net, job, copy_data, ack, ack_latency, 0);
         });
     }
@@ -377,7 +379,8 @@ fn deliver_with_rnr_retry(
                 }
                 let sched2 = sched.clone();
                 let net2 = net.clone();
-                sched.after(wait, move || {
+                let dst_node = job.dst_node;
+                sched.at_node(dst_node, sched.now() + wait, move || {
                     let ack_at = sched2.now() + ack_latency;
                     deliver_with_rnr_retry(
                         &sched2,
@@ -396,7 +399,9 @@ fn deliver_with_rnr_retry(
     let status = outcome_status(&outcome);
     let at = ack_at.max(sched.now());
     let net = net.clone();
-    sched.at(at, move || {
+    // The completion lands in the sender's CQ: source-node affinity.
+    let src_node = job.src_node;
+    sched.at_node(src_node, at, move || {
         complete_send(&net, &job, status);
     });
 }

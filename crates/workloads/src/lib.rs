@@ -18,6 +18,9 @@
 //! - [`parallel`] — order-preserving parallel fan-out of independent
 //!   experiment cells across worker threads (each cell owns its scheduler
 //!   and seed, so results are byte-identical at any job count);
+//! - [`pdes`] — 100k+-rank fan-in and Sweep3D wavefront generators for the
+//!   sharded conservative-sync engine in `partix_sim::pdes` (O(1) state
+//!   per rank, LogGP wire timing, order-sensitive digests);
 //! - [`tuning_search`] — the brute-force tuning-table construction (§IV-B);
 //! - [`netgauge_provider`] — LogGP parameter measurement over the simulated
 //!   MPI path (the paper's Netgauge step);
@@ -54,6 +57,7 @@ pub mod netgauge_provider;
 pub mod noise;
 pub mod overhead;
 pub mod parallel;
+pub mod pdes;
 pub mod perceived;
 pub mod runner;
 pub mod stats;

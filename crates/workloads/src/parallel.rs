@@ -9,104 +9,8 @@
 //! does — see `tests/parallel_determinism.rs` in `partix-bench`) produce
 //! byte-identical tables to `jobs = 1`.
 //!
-//! [`par_map`] is the one primitive: an order-preserving parallel map over
-//! owned items, fanned out across scoped worker threads pulling from a
-//! shared atomic work index (so uneven cell costs still balance).
+//! The primitive itself now lives in [`partix_sim::parallel`], where the
+//! sharded PDES engine shares it; this module re-exports it so existing
+//! harness callers keep their import path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
-/// Default worker count: the machine's available parallelism (1 if unknown).
-pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Map `f` over `items` on up to `jobs` worker threads, preserving input
-/// order in the output. `jobs <= 1` (or a single item) degenerates to a
-/// plain serial map with no threads spawned. Workers claim items through a
-/// shared counter, so long and short cells interleave instead of being
-/// dealt out in fixed blocks. A panic in `f` propagates to the caller.
-pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    let jobs = jobs.max(1).min(n.max(1));
-    if jobs <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    // Hand each item to exactly one worker via take(), and collect results
-    // back into per-index slots so output order matches input order.
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|s| {
-        let (f, work, results, next) = (&f, &work, &results, &next);
-        for _ in 0..jobs {
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i].lock().take().expect("item claimed once");
-                *results[i].lock() = Some(f(item));
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("worker filled slot"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let out = par_map(4, (0..100).collect(), |i: i32| i * 2);
-        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn serial_and_parallel_agree() {
-        let items: Vec<u64> = (0..37).collect();
-        let f = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
-        let serial = par_map(1, items.clone(), f);
-        let parallel = par_map(8, items, f);
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn empty_and_single() {
-        let empty: Vec<u8> = Vec::new();
-        assert!(par_map(8, empty, |x: u8| x).is_empty());
-        assert_eq!(par_map(8, vec![7], |x: i32| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn more_jobs_than_items() {
-        assert_eq!(par_map(64, vec![1, 2, 3], |x: i32| -x), vec![-1, -2, -3]);
-    }
-
-    // `std::thread::scope` re-raises worker panics with its own payload.
-    #[test]
-    #[should_panic(expected = "scoped thread panicked")]
-    fn worker_panics_propagate() {
-        par_map(2, vec![1, 2, 3], |x: i32| {
-            if x == 2 {
-                panic!("cell failed");
-            }
-            x
-        });
-    }
-}
+pub use partix_sim::parallel::{default_jobs, par_map};
