@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod buf;
+pub mod conformance;
 mod cq;
 mod error;
 mod fabric;
@@ -68,6 +69,7 @@ mod fabric_sim;
 mod memory;
 mod network;
 mod qp;
+pub mod shm;
 mod types;
 
 pub use buf::{InlineVec, PayloadArena, PooledBuf, PooledBufMut, INLINE_CAP};
@@ -89,6 +91,7 @@ pub use partix_telemetry::{
     LogHistogram, QpCounters, Registry, Snapshot, SpanEvent, SpanLog, WireCounters,
 };
 pub use qp::{PeerId, QpCaps, QueuePair, RetryProfile};
+pub use shm::{ShmConfig, ShmFabric};
 pub use types::{
     imm, NodeId, Opcode, QpState, RecvWr, SendWr, Sge, WcOpcode, WcStatus, WorkCompletion,
 };

@@ -1,0 +1,64 @@
+//! File-based out-of-band bootstrap for the two-process deployment.
+//!
+//! Real verbs deployments exchange QP numbers, rkeys and buffer addresses
+//! over a side channel (TCP, PMI, or — in Ibdxnet — ethernet sockets)
+//! before the first RDMA operation. Here the side channel is the same
+//! tmpfs directory the ring segments live in: each peer publishes a small
+//! named blob with an atomic rename, and awaits the other's by polling.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Atomically publish `bytes` as `<dir>/<name>.blob`: written to a
+/// temporary file first and renamed into place, so a polling reader never
+/// observes a partial blob.
+pub fn publish_blob(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".{}.blob.tmp-{}", name, std::process::id()));
+    let final_path = dir.join(format!("{name}.blob"));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, &final_path)
+}
+
+/// Poll for `<dir>/<name>.blob` up to `timeout`, returning its contents.
+pub fn await_blob(dir: &Path, name: &str, timeout: Duration) -> std::io::Result<Vec<u8>> {
+    let path = dir.join(format!("{name}.blob"));
+    let deadline = Instant::now() + timeout;
+    loop {
+        match std::fs::read(&path) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("bootstrap blob {name} never appeared"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_await_round_trips() {
+        let dir = std::env::temp_dir();
+        let name = format!("partix_bootstrap_test_{}", std::process::id());
+        publish_blob(&dir, &name, b"qp=7 rkey=9").unwrap();
+        let got = await_blob(&dir, &name, Duration::from_secs(1)).unwrap();
+        assert_eq!(got, b"qp=7 rkey=9");
+        std::fs::remove_file(dir.join(format!("{name}.blob"))).unwrap();
+    }
+
+    #[test]
+    fn await_times_out_cleanly() {
+        let dir = std::env::temp_dir();
+        let err =
+            await_blob(&dir, "partix_bootstrap_never", Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    }
+}

@@ -1,0 +1,298 @@
+//! Single-producer single-consumer byte ring over a [`Segment`].
+//!
+//! The ring carries variable-size records — `[len u32][kind u8][magic
+//! u8][reserved u16]` header plus payload — through a fixed data area.
+//! Cursors are *monotone byte counts* (they never wrap); only the data
+//! offsets wrap, so "full" (`tail - head == capacity`) and "empty" (`tail
+//! == head`) are unambiguous without a sacrificial slot. Records may
+//! straddle the physical wrap point: every copy is split at the boundary.
+//!
+//! Publication protocol (model-checked in `tests/ring_protocol.rs`):
+//!
+//! - producer: read `Head` (acquire), check space, write record bytes,
+//!   store `Tail = tail + n` (release);
+//! - consumer: read `Tail` (acquire), parse records in `[head, tail)`,
+//!   store `Head = head + n` (release).
+//!
+//! The acquire on `Tail` is what makes the record bytes visible to the
+//! consumer; the acquire on `Head` is what lets the producer reuse space.
+
+use std::sync::Arc;
+
+use super::segment::{Ctrl, Segment};
+
+/// Per-record header bytes: `len: u32` | `kind: u8` | `magic: u8` |
+/// `reserved: u16`.
+pub const RECORD_HEADER: u64 = 8;
+
+/// Magic byte stamped into every record header; a mismatch on pop means
+/// cursor corruption and is reported as poisoning, not silently skipped.
+const RECORD_MAGIC: u8 = 0xA7;
+
+/// What [`SpscRing::try_pop`] found.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped {
+    /// Nothing published.
+    Empty,
+    /// A record was read; its kind tag (payload is in the caller's scratch).
+    Record(u8),
+    /// The producer closed the ring and everything published was consumed.
+    Closed,
+}
+
+/// SPSC ring handle. Producer-side calls (`try_push`, `close`) must come
+/// from one logical producer, consumer-side calls from one logical
+/// consumer; the fabric serialises each side with its own lock.
+pub struct SpscRing {
+    seg: Arc<dyn Segment>,
+}
+
+impl SpscRing {
+    /// Wrap `seg`. The segment's control words must start zeroed (freshly
+    /// created) or hold a consistent prior state (reattach).
+    pub fn new(seg: Arc<dyn Segment>) -> Self {
+        SpscRing { seg }
+    }
+
+    /// Data capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.seg.capacity()
+    }
+
+    /// Bytes currently published but unconsumed.
+    pub fn len(&self) -> u64 {
+        let tail = self.seg.ctrl_load(Ctrl::Tail);
+        let head = self.seg.ctrl_load(Ctrl::Head);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest payload a single record can carry in this ring.
+    pub fn max_payload(&self) -> u64 {
+        self.seg.capacity().saturating_sub(RECORD_HEADER)
+    }
+
+    /// Mark the producer side closed (shutdown handshake): consumers keep
+    /// draining and then observe [`Popped::Closed`].
+    pub fn close(&self) {
+        self.seg.ctrl_store(Ctrl::Closed, 1);
+    }
+
+    /// Whether the producer closed the ring.
+    pub fn is_closed(&self) -> bool {
+        self.seg.ctrl_load(Ctrl::Closed) != 0
+    }
+
+    /// Consumer-side attach acknowledgement (cross-process bring-up).
+    pub fn mark_attached(&self) {
+        self.seg.ctrl_store(Ctrl::Attached, 1);
+    }
+
+    /// Whether a consumer has attached.
+    pub fn is_attached(&self) -> bool {
+        self.seg.ctrl_load(Ctrl::Attached) != 0
+    }
+
+    /// Copy `bytes` into the data area starting at logical position `pos`,
+    /// splitting at the physical wrap point.
+    fn write_wrapped(&self, pos: u64, bytes: &[u8]) {
+        let cap = self.seg.capacity();
+        let off = pos % cap;
+        let first = ((cap - off) as usize).min(bytes.len());
+        self.seg.data_write(off, &bytes[..first]);
+        if first < bytes.len() {
+            self.seg.data_write(0, &bytes[first..]);
+        }
+    }
+
+    /// Copy `dst.len()` bytes out of the data area from logical position
+    /// `pos`, splitting at the physical wrap point.
+    fn read_wrapped(&self, pos: u64, dst: &mut [u8]) {
+        let cap = self.seg.capacity();
+        let off = pos % cap;
+        let first = ((cap - off) as usize).min(dst.len());
+        self.seg.data_read(off, &mut dst[..first]);
+        let rest = dst.len() - first;
+        if rest > 0 {
+            self.seg.data_read(0, &mut dst[first..]);
+        }
+    }
+
+    /// Publish one record. Returns `false` when the ring lacks space (the
+    /// caller retries after the consumer advances). Panics if the record
+    /// can never fit (payload larger than the ring).
+    pub fn try_push(&self, kind: u8, payload: &[u8]) -> bool {
+        let need = RECORD_HEADER + payload.len() as u64;
+        let cap = self.seg.capacity();
+        assert!(
+            need <= cap,
+            "record of {need} bytes exceeds ring capacity {cap}"
+        );
+        let tail = self.seg.ctrl_load(Ctrl::Tail);
+        let head = self.seg.ctrl_load(Ctrl::Head);
+        if cap - (tail - head) < need {
+            return false;
+        }
+        let mut header = [0u8; RECORD_HEADER as usize];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4] = kind;
+        header[5] = RECORD_MAGIC;
+        self.write_wrapped(tail, &header);
+        self.write_wrapped(tail + RECORD_HEADER, payload);
+        self.seg.ctrl_store(Ctrl::Tail, tail + need);
+        true
+    }
+
+    /// Consume one record if available, appending its payload to `scratch`
+    /// (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// On header corruption (bad magic or a length exceeding the published
+    /// span) — the cursors are no longer trustworthy and continuing would
+    /// deliver garbage bytes into registered memory.
+    pub fn try_pop(&self, scratch: &mut Vec<u8>) -> Popped {
+        let mut tail = self.seg.ctrl_load(Ctrl::Tail);
+        let head = self.seg.ctrl_load(Ctrl::Head);
+        if tail == head {
+            if !self.is_closed() {
+                return Popped::Empty;
+            }
+            // `Closed` may have been observed between our `Tail` load and
+            // the producer's final publishes (push … push, close). Having
+            // seen the close flag (acquire), re-read `Tail`: every record
+            // published before the close must still drain, or the consumer
+            // would drop the stream's suffix.
+            tail = self.seg.ctrl_load(Ctrl::Tail);
+            if tail == head {
+                return Popped::Closed;
+            }
+        }
+        let avail = tail - head;
+        assert!(
+            avail >= RECORD_HEADER,
+            "ring published a partial header ({avail} bytes)"
+        );
+        let mut header = [0u8; RECORD_HEADER as usize];
+        self.read_wrapped(head, &mut header);
+        let len = u32::from_le_bytes(header[..4].try_into().expect("fixed slice")) as u64;
+        let kind = header[4];
+        assert_eq!(
+            header[5], RECORD_MAGIC,
+            "ring record magic mismatch at head {head}"
+        );
+        assert!(
+            RECORD_HEADER + len <= avail,
+            "ring record length {len} exceeds published span {avail}"
+        );
+        scratch.clear();
+        scratch.resize(len as usize, 0);
+        self.read_wrapped(head + RECORD_HEADER, scratch);
+        self.seg.ctrl_store(Ctrl::Head, head + RECORD_HEADER + len);
+        Popped::Record(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::segment::HeapSegment;
+    use super::*;
+
+    fn ring(cap: usize) -> SpscRing {
+        SpscRing::new(Arc::new(HeapSegment::new(cap)))
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let r = ring(256);
+        assert!(r.try_push(1, b"hello"));
+        assert!(r.try_push(2, b""));
+        let mut buf = Vec::new();
+        assert_eq!(r.try_pop(&mut buf), Popped::Record(1));
+        assert_eq!(buf, b"hello");
+        assert_eq!(r.try_pop(&mut buf), Popped::Record(2));
+        assert!(buf.is_empty());
+        assert_eq!(r.try_pop(&mut buf), Popped::Empty);
+    }
+
+    #[test]
+    fn records_straddle_the_wrap_point() {
+        let r = ring(32);
+        let mut buf = Vec::new();
+        // Walk the cursors until pushes land at every offset mod 32,
+        // forcing header and payload splits.
+        for i in 0..64u8 {
+            let payload = vec![i; (i % 13) as usize];
+            assert!(r.try_push(i, &payload), "push {i}");
+            assert_eq!(r.try_pop(&mut buf), Popped::Record(i));
+            assert_eq!(buf, payload, "record {i}");
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn full_ring_rejects_then_accepts_after_drain() {
+        let r = ring(40); // room for exactly two 8+12 records
+        assert!(r.try_push(0, &[1; 12]));
+        assert!(r.try_push(1, &[2; 12]));
+        assert!(!r.try_push(2, &[3; 12]), "full ring must reject");
+        let mut buf = Vec::new();
+        assert_eq!(r.try_pop(&mut buf), Popped::Record(0));
+        assert!(r.try_push(2, &[3; 12]), "freed space must be reusable");
+        assert_eq!(r.try_pop(&mut buf), Popped::Record(1));
+        assert_eq!(r.try_pop(&mut buf), Popped::Record(2));
+        assert_eq!(buf, [3; 12]);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let r = ring(64);
+        assert!(r.try_push(9, b"last"));
+        r.close();
+        let mut buf = Vec::new();
+        assert_eq!(r.try_pop(&mut buf), Popped::Record(9));
+        assert_eq!(r.try_pop(&mut buf), Popped::Closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring capacity")]
+    fn oversized_record_panics() {
+        let r = ring(16);
+        let _ = r.try_push(0, &[0; 64]);
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let seg = Arc::new(HeapSegment::new(512));
+        let tx = SpscRing::new(seg.clone());
+        let rx = SpscRing::new(seg);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10_000u32 {
+                let payload = i.to_le_bytes();
+                while !tx.try_push((i % 251) as u8, &payload) {
+                    std::hint::spin_loop();
+                }
+            }
+            tx.close();
+        });
+        let mut buf = Vec::new();
+        let mut next = 0u32;
+        loop {
+            match rx.try_pop(&mut buf) {
+                Popped::Record(kind) => {
+                    assert_eq!(kind, (next % 251) as u8);
+                    assert_eq!(buf, next.to_le_bytes());
+                    next += 1;
+                }
+                Popped::Empty => std::hint::spin_loop(),
+                Popped::Closed => break,
+            }
+        }
+        assert_eq!(next, 10_000);
+        producer.join().unwrap();
+    }
+}

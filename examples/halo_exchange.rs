@@ -74,6 +74,10 @@ fn main() {
         }
     }
 
+    // Every verified halo byte feeds a running FNV-1a digest printed at
+    // the end; the CI smoke test pins it, so a change in delivered bytes
+    // (not just assertion health) fails loudly.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for iter in 0..4u32 {
         // Start all receives, then all sends.
         for rank in links.iter() {
@@ -117,6 +121,10 @@ fn main() {
                         .rbuf
                         .read_vec(strip as usize * strip_bytes, 8)
                         .expect("read strip");
+                    for &b in &got {
+                        digest ^= b as u64;
+                        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
                     let got = f64::from_le_bytes(got.try_into().unwrap());
                     let want = halo_value(iter, rank_id as u32, dir as u32, strip);
                     assert!(
@@ -128,7 +136,7 @@ fn main() {
         }
         println!("iteration {iter}: all halos verified");
     }
-    println!("halo_exchange OK");
+    println!("halo_exchange OK digest={digest:#018x}");
 }
 
 /// Deterministic cell value for (iteration, sending rank, direction, strip).

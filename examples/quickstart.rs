@@ -43,7 +43,11 @@ fn main() {
         total >> 10,
     );
 
-    // Three persistent rounds over the same buffers.
+    // Three persistent rounds over the same buffers. Everything the
+    // receiver observes feeds a running FNV-1a digest printed at the end:
+    // the CI smoke test pins that digest, so any change in what actually
+    // lands (not just whether the asserts pass) fails loudly.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for round in 0..3u8 {
         recv.start().expect("recv start");
         send.start().expect("send start");
@@ -78,6 +82,10 @@ fn main() {
                 got.iter().all(|b| *b == round.wrapping_mul(17) ^ i as u8),
                 "partition {i} corrupted"
             );
+            for &b in &got {
+                digest ^= b as u64;
+                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+            }
         }
         println!(
             "round {round}: {} partitions delivered in {} work request(s) total",
@@ -85,5 +93,5 @@ fn main() {
             send.total_wrs_posted(),
         );
     }
-    println!("quickstart OK");
+    println!("quickstart OK digest={digest:#018x}");
 }

@@ -1,0 +1,72 @@
+//! Backend conformance matrix.
+//!
+//! Each test runs one scenario from `partix_verbs::conformance` against
+//! every fabric backend — virtual-clock sim, synchronous instant, the
+//! seeded lossy decorator, and the real-time shared-memory fabric — and
+//! asserts the digests (payload hashes, CQE sequences, deterministic
+//! ledger counters) are byte-identical across the matrix. Scenarios also
+//! self-check the telemetry invariant laws per backend.
+
+use partix_verbs::conformance::{assert_uniform, scenarios};
+
+fn run(name: &str) {
+    let table = scenarios();
+    let scenario = table
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} not in conformance table"));
+    let digest = assert_uniform(scenario);
+    assert!(!digest.is_empty(), "{name}: empty digest");
+}
+
+macro_rules! conformance_tests {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                run(stringify!($name));
+            }
+        )*
+
+        /// Every scenario in the harness table has a matching test here, so
+        /// adding a scenario without wiring it up fails loudly.
+        #[test]
+        fn scenario_table_is_fully_covered() {
+            let covered = [$(stringify!($name)),*];
+            let table = scenarios();
+            for s in &table {
+                assert!(
+                    covered.contains(&s.name),
+                    "scenario {} has no conformance test",
+                    s.name
+                );
+            }
+            assert_eq!(covered.len(), table.len(), "stale test entries");
+        }
+    };
+}
+
+conformance_tests!(
+    connect_teardown_reconnect,
+    write_imm_roundtrip,
+    bare_write_has_no_recv_cqe,
+    two_sided_send_scatter,
+    send_with_imm_roundtrip,
+    gather_three_sge_write,
+    mtu_segmentation_ledger,
+    wr_cap_spill_sequential,
+    batch_partial_grant,
+    psn_exactly_once_under_duplicates,
+    drop_retransmit_recovery,
+    chaos_storm_delivers_exactly_once,
+    rnr_exhausts_without_receiver,
+    qp_error_then_recovery_cycle,
+    remote_access_error_writes_nothing,
+    two_sided_overflow_is_length_error,
+    inline_send_arena_conservation,
+    imm_encoding_sweep,
+    bidirectional_interleave,
+    multi_qp_fanout,
+    sequential_stream_wraps_transport,
+    flow_stage_trace,
+);
