@@ -597,6 +597,11 @@ fn report_dataplane(c: &Criterion, stats: &[DataplaneStat]) {
         std::env::var("BENCH_DATAPLANE_JSON").unwrap_or_else(|_| "BENCH_dataplane.json".into());
     std::fs::write(&path, json).expect("write dataplane results");
     eprintln!("wrote dataplane results to {path}");
+    if let Ok(Some(mirror)) =
+        partix_bench::artifacts::mirror_to_repo_root(std::path::Path::new(&path))
+    {
+        eprintln!("wrote dataplane results to {}", mirror.display());
+    }
 
     for st in stats {
         eprintln!(
@@ -648,6 +653,11 @@ fn main() {
     c.write_json(std::path::Path::new(&path))
         .expect("write hotpath results");
     eprintln!("wrote benchmark results to {path}");
+    if let Ok(Some(mirror)) =
+        partix_bench::artifacts::mirror_to_repo_root(std::path::Path::new(&path))
+    {
+        eprintln!("wrote benchmark results to {}", mirror.display());
+    }
     report_dataplane(&c, &dataplane);
 
     // Acceptance bounds: span tracing and flow tracing (histograms and

@@ -91,17 +91,19 @@ fn bench_pattern(
     })
 }
 
-fn write_json(
-    path: &PathBuf,
+fn render_json(cfg: &PdesWorkloadConfig, host_cpus: usize, patterns: &[PatternResult]) -> String {
+    let mut f = String::new();
+    render_into(&mut f, cfg, host_cpus, patterns).expect("format results");
+    f
+}
+
+fn render_into(
+    f: &mut String,
     cfg: &PdesWorkloadConfig,
     host_cpus: usize,
     patterns: &[PatternResult],
-) -> std::io::Result<()> {
-    use std::io::Write;
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut f = std::fs::File::create(path)?;
+) -> std::fmt::Result {
+    use std::fmt::Write;
     writeln!(f, "{{")?;
     writeln!(f, "  \"ranks\": {},", cfg.ranks)?;
     writeln!(f, "  \"shards\": {},", cfg.shards)?;
@@ -254,7 +256,11 @@ fn main() {
         }
     }
 
-    let path = out.join("BENCH_pdes.json");
-    write_json(&path, &cfg, host_cpus, &patterns).expect("write results");
-    println!("\nwrote {}", path.display());
+    let json = render_json(&cfg, host_cpus, &patterns);
+    let paths = partix_bench::artifacts::write_artifact(&out, "BENCH_pdes.json", &json)
+        .expect("write results");
+    println!();
+    for p in &paths {
+        println!("wrote {}", p.display());
+    }
 }

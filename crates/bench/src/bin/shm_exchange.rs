@@ -376,7 +376,11 @@ fn write_json(out: &Path, smoke: bool, results: &[RowResult]) -> std::io::Result
     }
     writeln!(f, "  ]")?;
     writeln!(f, "}}")?;
+    drop(f);
     println!("wrote {}", path.display());
+    if let Some(mirror) = partix_bench::artifacts::mirror_to_repo_root(&path)? {
+        println!("wrote {}", mirror.display());
+    }
     Ok(())
 }
 

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod artifacts;
 pub mod check;
 pub mod experiments;
 pub mod plots;

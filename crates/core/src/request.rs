@@ -302,7 +302,8 @@ impl SendShared {
             let weak = Arc::downgrade(self);
             let ch2 = ch.clone();
             let round = self.round.load(Ordering::Acquire);
-            self.proc.time.schedule(
+            self.proc.time.schedule_on(
+                self.proc.rank,
                 delta,
                 Box::new(move || {
                     if let Some(s) = weak.upgrade() {
@@ -987,7 +988,8 @@ impl RecvShared {
             self.record_arrival(lo, cnt, flow);
         } else {
             let me = self.clone();
-            self.proc.time.schedule(
+            self.proc.time.schedule_on(
+                self.proc.rank,
                 delay,
                 Box::new(move || {
                     me.record_arrival(lo, cnt, flow);

@@ -108,6 +108,41 @@ impl World {
     /// backoff on the virtual clock).
     pub fn sim(ranks: u32, config: PartixConfig) -> (World, Scheduler) {
         let sched = Scheduler::new();
+        Self::sim_on(ranks, config, sched)
+    }
+
+    /// Build a simulated world whose events execute on the **sharded PDES
+    /// engine** with one shard per rank and `jobs` worker threads (see
+    /// [`Scheduler::sharded`]). The engine lookahead is the fabric's LogGP
+    /// wire latency `L` — the model's minimum cross-rank delay. Virtual
+    /// timing differs slightly from the sequential [`World::sim`] model
+    /// (the receive port is reserved in arrival order and acks pay a full
+    /// `L` from delivery visibility), but is byte-identical across the
+    /// reference executor and every job count.
+    ///
+    /// Requests must be initialised from the driving thread (not from
+    /// inside events), and `on_ready`/`on_complete` callbacks must only
+    /// touch their own rank's requests — cross-rank calls would mutate
+    /// another shard's state.
+    pub fn sim_sharded(ranks: u32, config: PartixConfig, jobs: usize) -> (World, Scheduler) {
+        let sched = Scheduler::sharded(ranks, Self::wire_lookahead(&config), jobs);
+        Self::sim_on(ranks, config, sched)
+    }
+
+    /// [`World::sim_sharded`] on the sequential reference executor — the
+    /// oracle sharded runs are byte-compared against.
+    pub fn sim_sharded_reference(ranks: u32, config: PartixConfig) -> (World, Scheduler) {
+        let sched = Scheduler::sharded_reference(ranks, Self::wire_lookahead(&config));
+        Self::sim_on(ranks, config, sched)
+    }
+
+    /// The minimum cross-rank latency of `config`'s fabric model: the LogGP
+    /// wire latency, converted exactly as the fabric converts it.
+    fn wire_lookahead(config: &PartixConfig) -> partix_sim::SimDuration {
+        partix_sim::SimDuration::from_nanos_f64(config.fabric.loggp.l)
+    }
+
+    fn sim_on(ranks: u32, config: PartixConfig, sched: Scheduler) -> (World, Scheduler) {
         // Fabric events carry node affinity (delivery at the receiver,
         // completions and retransmit timers at the sender); the census lets
         // tests and the sharded executor confirm routing coverage.
@@ -404,6 +439,26 @@ fn establish(world: &Arc<WorldInner>, s: Arc<SendShared>, r: Arc<RecvShared>) ->
         r.fire_ready();
     };
     match &world.sim {
+        Some(sched) if sched.is_sharded() => {
+            // Each end's state must only be touched on its own shard, so the
+            // bring-up is split per end: both ready flags latch at `at`, and
+            // both `fire_ready` notifications run one lookahead later — far
+            // enough that each side's flag write is happens-before every
+            // fire, on the reference executor and under parallel epochs
+            // alike.
+            let lookahead = sched.sharded_lookahead().expect("sharded");
+            let (src_node, dst_node) = (s.proc.rank, r.proc.rank);
+            let at = sched.now() + world.config.setup_delay;
+            let fire_at = at + lookahead;
+            let s2 = s.clone();
+            sched.at_node(src_node, at, move || s2.set_ready());
+            let r2 = r.clone();
+            sched.at_node(dst_node, at, move || r2.set_ready());
+            let s3 = s.clone();
+            sched.at_node(src_node, fire_at, move || s3.fire_ready());
+            let r3 = r.clone();
+            sched.at_node(dst_node, fire_at, move || r3.fire_ready());
+        }
         Some(sched) => {
             let (s2, r2) = (s.clone(), r.clone());
             // Bring-up completes at the initiating (sender) rank: tag the

@@ -23,6 +23,16 @@ pub trait Timer: Send + Sync {
     /// Run `f` once, `delay` from now. Used by the timer-based aggregator for
     /// its delta-expiry flush.
     fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>);
+
+    /// Like [`schedule`](Self::schedule), tagging the callback with the
+    /// simulated node it belongs to. Timer backends without a node concept
+    /// (wall-clock) ignore the tag; the virtual clock routes it through
+    /// [`Scheduler::at_node`] so delta-timers and recv-path delays stay on
+    /// their owning shard under the sharded PDES engine.
+    fn schedule_on(&self, node: u32, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
+        let _ = node;
+        self.schedule(delay, f);
+    }
 }
 
 /// Virtual clock view over a [`Scheduler`].
@@ -39,6 +49,11 @@ impl Clock for SimClock {
 impl Timer for SimClock {
     fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
         self.0.after(delay, f);
+    }
+
+    fn schedule_on(&self, node: u32, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
+        let at = self.0.now() + delay;
+        self.0.at_node(node, at, f);
     }
 }
 
@@ -115,6 +130,12 @@ impl TimeSource {
     /// Schedule a one-shot callback.
     pub fn schedule(&self, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
         self.timer.schedule(delay, f);
+    }
+
+    /// Schedule a one-shot callback owned by simulated node `node` (see
+    /// [`Timer::schedule_on`]).
+    pub fn schedule_on(&self, node: u32, delay: SimDuration, f: Box<dyn FnOnce() + Send>) {
+        self.timer.schedule_on(node, delay, f);
     }
 
     /// The clock as a plain nanosecond closure, for injection into layers

@@ -32,6 +32,7 @@
 //! [`events_pending`](Scheduler::events_pending) never takes the lock and
 //! the hot path pays no extra atomic per event.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
@@ -40,6 +41,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use crate::pdes::{Pdes, PdesConfig, PdesNode, PdesReport, ShardCtx, ShardLogic};
 use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
 
@@ -174,6 +176,100 @@ struct AffinityCounts {
     per_node: Box<[AtomicU64]>,
 }
 
+// ---------------------------------------------------------------------------
+// Sharded execution mode
+// ---------------------------------------------------------------------------
+//
+// `Scheduler::sharded` swaps the sequential queue for a `pdes::Pdes` engine
+// whose `ShardLogic` is a thin adapter (`ClosureShard`) over the same
+// type-erased `RawEvent` closures. Every node gets its own shard (so the
+// deterministic `(time, shard, seq)` total order is independent of the job
+// count), and `--jobs` only chooses how many worker threads the epochs run
+// on. While a shard executes an event, its `ShardCtx` is published in a
+// thread-local so that `Scheduler::at`/`at_node`/`now` calls made from
+// inside the closure re-enter the owning shard: same-node schedules stay on
+// the private local lane; cross-node schedules go through the mailbox merge
+// lane and must respect the engine lookahead (the LogGP wire latency `L`).
+
+/// Identity of the shard context currently executing an event on this
+/// thread. `rt` disambiguates between coexisting sharded schedulers.
+#[derive(Clone, Copy)]
+struct ActiveShard {
+    rt: u64,
+    ctx: *mut (),
+    node: PdesNode,
+}
+
+thread_local! {
+    static ACTIVE_SHARD: Cell<Option<ActiveShard>> = const { Cell::new(None) };
+}
+
+/// Publishes a `ShardCtx` for the dynamic extent of one event, restoring
+/// the previous value on drop (events never nest, but a shard event may
+/// drive a *different* scheduler whose events re-check `rt`).
+struct ActiveShardGuard {
+    prev: Option<ActiveShard>,
+}
+
+impl ActiveShardGuard {
+    fn enter(rt: u64, ctx: &mut ShardCtx<'_, RawEvent>, node: PdesNode) -> Self {
+        let active = ActiveShard {
+            rt,
+            ctx: ctx as *mut ShardCtx<'_, RawEvent> as *mut (),
+            node,
+        };
+        ActiveShardGuard {
+            prev: ACTIVE_SHARD.with(|c| c.replace(Some(active))),
+        }
+    }
+}
+
+impl Drop for ActiveShardGuard {
+    fn drop(&mut self) {
+        ACTIVE_SHARD.with(|c| c.set(self.prev));
+    }
+}
+
+/// Per-shard logic of the sharded scheduler: runs the stored closure with
+/// the shard context published in thread-local storage so the closure's
+/// `Scheduler` calls route back into this shard.
+struct ClosureShard {
+    rt: u64,
+}
+
+impl ShardLogic for ClosureShard {
+    type Event = RawEvent;
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, RawEvent>, node: PdesNode, ev: RawEvent) {
+        let _guard = ActiveShardGuard::enter(self.rt, ctx, node);
+        ev.run();
+    }
+}
+
+/// Engine state behind the sharded scheduler's lock: the pdes instance plus
+/// bookkeeping to convert its cumulative report into per-`run` deltas.
+struct EngineBox {
+    pdes: Pdes<ClosureShard>,
+    last_events: u64,
+    last_report: Option<PdesReport>,
+}
+
+struct Sharded {
+    /// Unique runtime token matching `ActiveShard::rt`.
+    rt: u64,
+    /// Worker threads for `run` (ignored by the reference executor).
+    jobs: usize,
+    /// Engine lookahead — the model's minimum cross-node latency.
+    lookahead: SimDuration,
+    /// Use the sequential reference executor (global `(time, shard, seq)`
+    /// scan) instead of the barrier-epoch engine.
+    reference: bool,
+    engine: Mutex<EngineBox>,
+}
+
+/// Source of `Sharded::rt` tokens (0 is reserved for "none").
+static SHARDED_RT: AtomicU64 = AtomicU64::new(1);
+
 struct Inner {
     now: AtomicU64,
     seq: AtomicU64,
@@ -186,6 +282,9 @@ struct Inner {
     /// [`Scheduler::enable_node_affinity`]. Disabled costs one pointer load
     /// per `at_node` call.
     affinity: OnceLock<AffinityCounts>,
+    /// Present when this scheduler executes on the sharded PDES engine
+    /// instead of the sequential queue.
+    sharded: Option<Sharded>,
 }
 
 /// Handle to the discrete-event simulation. Cheap to clone; all clones share
@@ -222,13 +321,161 @@ impl Scheduler {
                 queue: Mutex::new(Queue::with_capacity(events)),
                 batch_buf: Mutex::new(Vec::with_capacity(MAX_BATCH.min(events.max(16)))),
                 affinity: OnceLock::new(),
+                sharded: None,
             }),
         }
+    }
+
+    /// Create a **sharded** scheduler for `nodes` simulated nodes: events
+    /// execute on the conservative-sync PDES engine ([`crate::pdes`]) with
+    /// one shard per node and `jobs` worker threads per [`run`](Self::run)
+    /// call. `lookahead` is the model's minimum cross-node latency (the
+    /// LogGP wire `L`): cross-node events closer than that panic at the
+    /// scheduling site.
+    ///
+    /// The shard count is tied to `nodes`, not `jobs`, so the deterministic
+    /// `(time, shard, seq)` total order — and therefore every digest — is
+    /// identical at any job count. `step`/`step_n`/`run_until`/`run_bounded`
+    /// are unsupported in this mode (the epoch protocol has no single global
+    /// cursor to pause); drive it with `run`.
+    pub fn sharded(nodes: u32, lookahead: SimDuration, jobs: usize) -> Self {
+        Self::sharded_with(nodes, lookahead, jobs, false)
+    }
+
+    /// Like [`sharded`](Self::sharded) but executing on the sequential
+    /// reference executor (the global `(time, shard, seq)` merge) — the
+    /// oracle the parallel engine is byte-compared against.
+    pub fn sharded_reference(nodes: u32, lookahead: SimDuration) -> Self {
+        Self::sharded_with(nodes, lookahead, 1, true)
+    }
+
+    fn sharded_with(nodes: u32, lookahead: SimDuration, jobs: usize, reference: bool) -> Self {
+        assert!(
+            lookahead.as_nanos() > 0,
+            "sharded scheduler requires a positive lookahead"
+        );
+        let shards = nodes.max(1);
+        let rt = SHARDED_RT.fetch_add(1, AtomicOrdering::Relaxed);
+        let cfg = PdesConfig {
+            shards,
+            lookahead,
+            ..PdesConfig::default()
+        };
+        let logics = (0..shards).map(|_| ClosureShard { rt }).collect();
+        let pdes = Pdes::new(cfg, logics);
+        Scheduler {
+            inner: Arc::new(Inner {
+                now: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                executed: AtomicU64::new(0),
+                queue: Mutex::new(Queue::with_capacity(0)),
+                batch_buf: Mutex::new(Vec::new()),
+                affinity: OnceLock::new(),
+                sharded: Some(Sharded {
+                    rt,
+                    jobs: jobs.max(1),
+                    lookahead,
+                    reference,
+                    engine: Mutex::new(EngineBox {
+                        pdes,
+                        last_events: 0,
+                        last_report: None,
+                    }),
+                }),
+            }),
+        }
+    }
+
+    /// True when this scheduler executes on the sharded PDES engine.
+    #[inline]
+    pub fn is_sharded(&self) -> bool {
+        self.inner.sharded.is_some()
+    }
+
+    /// Worker-thread count of a sharded scheduler (`None` when sequential).
+    pub fn sharded_jobs(&self) -> Option<usize> {
+        self.inner.sharded.as_ref().map(|s| s.jobs)
+    }
+
+    /// Engine lookahead of a sharded scheduler (`None` when sequential).
+    /// Two events separated by at least this much virtual time are
+    /// happens-before ordered across shards even under parallel execution,
+    /// so state written by the earlier one is visible to the later.
+    pub fn sharded_lookahead(&self) -> Option<SimDuration> {
+        self.inner.sharded.as_ref().map(|s| s.lookahead)
+    }
+
+    /// Engine report of the most recent sharded [`run`](Self::run) —
+    /// cumulative event/cross-message counts, epochs, channel high-water.
+    /// `None` when sequential or before the first run.
+    pub fn pdes_report(&self) -> Option<PdesReport> {
+        self.inner
+            .sharded
+            .as_ref()
+            .and_then(|s| s.engine.lock().last_report)
+    }
+
+    /// The `ShardCtx` published by `ClosureShard::handle` when the calling
+    /// thread is inside one of *this* scheduler's events, along with the
+    /// event's node. The `&mut` lent to `handle` is suspended while the
+    /// closure runs, so the reborrow is unique for the closure's extent.
+    fn with_active_ctx<R>(
+        &self,
+        sh: &Sharded,
+        f: impl FnOnce(&mut ShardCtx<'_, RawEvent>, PdesNode) -> R,
+    ) -> Option<R> {
+        let active = ACTIVE_SHARD.with(|c| c.get())?;
+        if active.rt != sh.rt {
+            return None;
+        }
+        // Safety: published by ClosureShard::handle on this thread for the
+        // dynamic extent of the currently executing event; no other path can
+        // reach the context while the closure runs. The 'static cast never
+        // escapes this scope.
+        let ctx = unsafe { &mut *(active.ctx as *mut ShardCtx<'static, RawEvent>) };
+        Some(f(ctx, active.node))
+    }
+
+    /// Sharded-mode scheduling: from inside an event, route through the
+    /// executing shard (`node: None` keeps the event on the current node);
+    /// from outside, seed the engine directly (the engine is idle, so there
+    /// is no lookahead constraint and seed order is the call order).
+    fn sharded_schedule(
+        &self,
+        sh: &Sharded,
+        node: Option<PdesNode>,
+        t: SimTime,
+        ev: RawEvent,
+    ) -> EventKey {
+        let seq = self.inner.seq.fetch_add(1, AtomicOrdering::Relaxed);
+        let active = ACTIVE_SHARD.with(|c| c.get()).filter(|a| a.rt == sh.rt);
+        let time = match active {
+            Some(active) => {
+                // Safety: same contract as `with_active_ctx`.
+                let ctx = unsafe { &mut *(active.ctx as *mut ShardCtx<'static, RawEvent>) };
+                let dst = node.unwrap_or(active.node);
+                let at = t.max(ctx.now());
+                ctx.send_at(dst, at, ev);
+                at
+            }
+            None => {
+                let dst = node.unwrap_or(0);
+                let at = t.max(SimTime(self.inner.now.load(AtomicOrdering::Acquire)));
+                sh.engine.lock().pdes.seed(dst, at, ev);
+                at
+            }
+        };
+        EventKey { time, seq }
     }
 
     /// Current virtual time.
     #[inline]
     pub fn now(&self) -> SimTime {
+        if let Some(sh) = &self.inner.sharded {
+            if let Some(t) = self.with_active_ctx(sh, |ctx, _| ctx.now()) {
+                return t;
+            }
+        }
         SimTime(self.inner.now.load(AtomicOrdering::Acquire))
     }
 
@@ -259,7 +506,15 @@ impl Scheduler {
     /// Schedule `f` at `t` and return the [`EventKey`] it was assigned —
     /// the event's position in the scheduler's public `(time, seq)` total
     /// order. Two events at the same instant execute in ascending `seq`.
+    ///
+    /// On a sharded scheduler an unaffined event stays on the node of the
+    /// event that scheduled it (main-thread schedules land on node 0), and
+    /// the returned key is advisory — the executor's total order is the
+    /// pdes `(time, shard, seq)` key.
     pub fn at_keyed(&self, t: SimTime, f: impl FnOnce() + Send + 'static) -> EventKey {
+        if let Some(sh) = &self.inner.sharded {
+            return self.sharded_schedule(sh, None, t, RawEvent::new(f));
+        }
         let now = self.now();
         let t = t.max(now);
         let seq = self.inner.seq.fetch_add(1, AtomicOrdering::Relaxed);
@@ -273,15 +528,19 @@ impl Scheduler {
 
     /// Schedule `f` at `t` with **node affinity**: the event logically
     /// belongs to simulated node `node` (a wire delivery arriving there, a
-    /// completion surfacing on its CQ). On this sequential scheduler the
+    /// completion surfacing on its CQ). On the sequential scheduler the
     /// execution order is unchanged — affinity feeds the per-node event
     /// census ([`node_event_counts`](Self::node_event_counts)) that sizes
-    /// and balances sharded PDES runs, and gives fabric/runtime call sites
-    /// one routing API shared with [`crate::pdes::Pdes`].
+    /// and balances sharded PDES runs. On a sharded scheduler affinity **is
+    /// the routing**: the event executes on `node`'s shard, and a
+    /// cross-node schedule closer than the lookahead panics.
     pub fn at_node(&self, node: u32, t: SimTime, f: impl FnOnce() + Send + 'static) -> EventKey {
         if let Some(a) = self.inner.affinity.get() {
             let idx = (node as usize).min(a.per_node.len() - 1);
             a.per_node[idx].fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        if let Some(sh) = &self.inner.sharded {
+            return self.sharded_schedule(sh, Some(node), t, RawEvent::new(f));
         }
         self.at_keyed(t, f)
     }
@@ -317,8 +576,12 @@ impl Scheduler {
 
     /// Execute the next pending event, advancing the clock to its timestamp.
     /// Returns `false` when the queue is empty. One lock acquisition per
-    /// event (pop + slot release together).
+    /// event (pop + slot release together). Unsupported in sharded mode.
     pub fn step(&self) -> bool {
+        assert!(
+            self.inner.sharded.is_none(),
+            "Scheduler::step is unsupported in sharded mode; drive with run()"
+        );
         let (entry, ev) = {
             let mut q = self.inner.queue.lock();
             match q.heap.pop() {
@@ -407,22 +670,61 @@ impl Scheduler {
 
     /// Run until the event queue is empty. Returns the number of events
     /// executed by this call.
+    ///
+    /// Sharded mode: executes barrier epochs on the configured worker
+    /// threads (or the sequential reference scan) until every shard drains,
+    /// then parks the clock at the makespan. Not reentrant from inside one
+    /// of this scheduler's own events.
     pub fn run(&self) -> u64 {
+        if let Some(sh) = &self.inner.sharded {
+            let reentrant = ACTIVE_SHARD
+                .with(|c| c.get())
+                .is_some_and(|a| a.rt == sh.rt);
+            assert!(
+                !reentrant,
+                "Scheduler::run is not reentrant in sharded mode"
+            );
+            let mut eng = sh.engine.lock();
+            let report = if sh.reference {
+                eng.pdes.run_reference()
+            } else {
+                eng.pdes.run(sh.jobs)
+            };
+            let ran = report.events - eng.last_events;
+            eng.last_events = report.events;
+            eng.last_report = Some(report);
+            if ran > 0 {
+                self.inner
+                    .now
+                    .fetch_max(report.makespan.as_nanos(), AtomicOrdering::AcqRel);
+            }
+            self.inner.executed.fetch_add(ran, AtomicOrdering::Relaxed);
+            return ran;
+        }
         self.run_batched(None, None)
     }
 
     /// Execute up to `max` pending events (in timestamp order, batched).
     /// Returns how many ran; fewer than `max` means the queue drained.
     /// Note: a same-timestamp batch is never split, so up to `MAX_BATCH - 1`
-    /// events beyond `max` may execute.
+    /// events beyond `max` may execute. Unsupported in sharded mode.
     pub fn step_n(&self, max: u64) -> u64 {
+        assert!(
+            self.inner.sharded.is_none(),
+            "Scheduler::step_n is unsupported in sharded mode; drive with run()"
+        );
         self.run_batched(None, Some(max))
     }
 
     /// Run until the queue is empty or the next event is later than
     /// `deadline` (which is left unexecuted). The clock does not advance past
-    /// the last executed event.
+    /// the last executed event. Unsupported in sharded mode (the epoch
+    /// protocol has no single global cursor to pause at a deadline).
     pub fn run_until(&self, deadline: SimTime) -> u64 {
+        assert!(
+            self.inner.sharded.is_none(),
+            "Scheduler::run_until is unsupported in sharded mode; drive with run()"
+        );
         self.run_batched(Some(deadline), None)
     }
 
@@ -442,8 +744,16 @@ impl Scheduler {
 
     /// High-water mark of the event slab (diagnostics): how many slots have
     /// ever been live at once. Steady-state workloads should see this
-    /// plateau while `events_executed` keeps climbing.
+    /// plateau while `events_executed` keeps climbing. Sharded mode reports
+    /// the peak across shard slabs from the most recent run.
     pub fn slab_high_water(&self) -> usize {
+        if let Some(sh) = &self.inner.sharded {
+            return sh
+                .engine
+                .lock()
+                .last_report
+                .map_or(0, |r| r.slab_high_water);
+        }
         self.inner.queue.lock().slots.high_water()
     }
 }
@@ -681,6 +991,110 @@ mod tests {
         quiet.at_node(0, SimTime(1), || {});
         quiet.run();
         assert!(quiet.node_event_counts().is_empty());
+    }
+
+    /// A causal cross-node hop chain run on every executor flavour must
+    /// visit nodes in the same order at the same virtual times.
+    fn hop_chain(sched: &Scheduler, lookahead: SimDuration, hops: u32) -> Vec<(u32, u64)> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        fn hop(
+            sched: Scheduler,
+            log: Arc<Mutex<Vec<(u32, u64)>>>,
+            lookahead: SimDuration,
+            node: u32,
+            remaining: u32,
+        ) {
+            let t = sched.now() + lookahead;
+            let s2 = sched.clone();
+            sched.at_node(node, t, move || {
+                log.lock().push((node, s2.now().as_nanos()));
+                if remaining > 0 {
+                    hop(
+                        s2.clone(),
+                        log.clone(),
+                        lookahead,
+                        (node + 1) % 4,
+                        remaining - 1,
+                    );
+                }
+            });
+        }
+        hop(sched.clone(), log.clone(), lookahead, 0, hops);
+        sched.run();
+        let out = log.lock().clone();
+        out
+    }
+
+    #[test]
+    fn sharded_matches_reference_and_jobs() {
+        let la = SimDuration(10);
+        let want = hop_chain(&Scheduler::sharded_reference(4, la), la, 40);
+        assert_eq!(want.len(), 41);
+        for jobs in [1, 2, 4] {
+            let got = hop_chain(&Scheduler::sharded(4, la, jobs), la, 40);
+            assert_eq!(got, want, "jobs={jobs} diverged from reference");
+        }
+        // The sequential scheduler agrees too: same virtual timing model.
+        assert_eq!(hop_chain(&Scheduler::new(), la, 40), want);
+    }
+
+    #[test]
+    fn sharded_unaffined_events_stay_on_scheduling_node() {
+        let sim = Scheduler::sharded(3, SimDuration(5), 2);
+        sim.enable_node_affinity(3);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, s2) = (log.clone(), sim.clone());
+        // Main-thread `at` seeds node 0; the inner `after` must stay local
+        // to node 1 without tripping the cross-shard lookahead assert.
+        sim.at_node(1, SimTime(100), move || {
+            let l2 = l1.clone();
+            let s3 = s2.clone();
+            s2.after(SimDuration(1), move || {
+                l2.lock().push(s3.now());
+            });
+        });
+        sim.run();
+        assert_eq!(*log.lock(), vec![SimTime(101)]);
+        assert_eq!(sim.now(), SimTime(101));
+        assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn sharded_run_is_repeatable_across_seeding_rounds() {
+        let sim = Scheduler::sharded(2, SimDuration(5), 2);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        sim.at_node(0, SimTime(1), move || {
+            c2.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(sim.run(), 1);
+        let c3 = count.clone();
+        sim.at_node(1, SimTime(50), move || {
+            c3.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(sim.run(), 1);
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 2);
+        assert_eq!(sim.events_executed(), 2);
+        assert!(sim.pdes_report().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "violates lookahead")]
+    fn sharded_cross_node_event_inside_lookahead_panics() {
+        let sim = Scheduler::sharded(2, SimDuration(100), 1);
+        let s2 = sim.clone();
+        sim.at_node(0, SimTime(10), move || {
+            // Node 1 lives on another shard; 1 ns ahead < lookahead.
+            s2.at_node(1, s2.now() + SimDuration(1), || {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported in sharded mode")]
+    fn sharded_step_panics() {
+        Scheduler::sharded(2, SimDuration(1), 1).step();
     }
 
     #[test]

@@ -153,4 +153,111 @@ impl Snapshot {
     pub fn total_bytes_completed(&self) -> u64 {
         self.qps.iter().map(|q| q.bytes_completed).sum()
     }
+
+    /// Canonical FNV-1a digest over every counter in the ledger.
+    ///
+    /// QPs are folded in `(node, qp_num)` order and CQs in `cq_id` order, so
+    /// the digest is independent of registration order. Two runs with equal
+    /// digests performed the same aggregate work on every QP, CQ, the wire,
+    /// the runtime and the arena — the comparison the sharded-executor
+    /// determinism suites use as their "telemetry ledger equality" check.
+    pub fn ledger_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+
+        let mut qps: Vec<&QpSnapshot> = self.qps.iter().collect();
+        qps.sort_by_key(|q| (q.node, q.qp_num));
+        put(qps.len() as u64);
+        for q in qps {
+            put(q.node as u64);
+            put(q.qp_num as u64);
+            for b in q.state.as_bytes() {
+                put(*b as u64);
+            }
+            put(q.outstanding);
+            put(q.recv_queue_depth);
+            put(q.send_posted);
+            put(q.recv_posted);
+            put(q.recv_consumed);
+            put(q.completed_success);
+            put(q.completed_error);
+            put(q.bytes_posted);
+            put(q.bytes_completed);
+            put(q.recoveries);
+            put(q.slot_underflows);
+        }
+
+        let mut cqs: Vec<&CqSnapshot> = self.cqs.iter().collect();
+        cqs.sort_by_key(|c| c.cq_id);
+        put(cqs.len() as u64);
+        for c in cqs {
+            put(c.cq_id as u64);
+            for s in c.pushed_by_status {
+                put(s);
+            }
+            put(c.pushed_total);
+            put(c.polled);
+            put(c.recv_pushed);
+            put(c.recv_bytes);
+        }
+
+        let w = &self.wire;
+        for v in [
+            w.inner_submissions,
+            w.retransmits,
+            w.dropped,
+            w.duplicates_injected,
+            w.delayed,
+            w.exhausted,
+            w.injected_faults,
+            w.rnr_requeues,
+            w.mtu_segments,
+            w.delivery_attempts,
+            w.delivered,
+            w.delivered_ghost,
+            w.duplicates_suppressed,
+            w.remote_errors,
+            w.receiver_not_ready,
+            w.length_errors,
+            w.bytes_delivered,
+            w.recv_cqes,
+        ] {
+            put(v);
+        }
+
+        let r = &self.runtime;
+        for v in [
+            r.preadys,
+            r.timer_fires,
+            r.aggregated_wrs,
+            r.partitions_posted,
+            r.pending_spills,
+            r.pending_reposts,
+            r.recoveries,
+            r.table_decisions,
+            r.table_fallback_decisions,
+            r.model_decisions,
+            r.fixed_decisions,
+        ] {
+            put(v);
+        }
+
+        // Arena: only the commutative totals. Hit/miss splits and the live
+        // high-water mark depend on the wall-clock interleaving of pool
+        // accesses when events execute on parallel shards, so they are
+        // excluded — they may legitimately differ between executors that
+        // perform identical virtual-time work.
+        let a = &self.arena;
+        put(a.pool_gets);
+        put(a.pool_returns);
+
+        h
+    }
 }

@@ -46,6 +46,10 @@ use partix_telemetry::{invariants, FlowLog, FlowStage};
 pub enum BackendKind {
     /// LogGP-priced virtual-clock DES fabric.
     Sim,
+    /// The same DES fabric on the **sharded PDES executor** (one shard per
+    /// node, two worker threads): conformance for the parallel engine the
+    /// figure/chaos pipelines run on at `--jobs N`.
+    SimSharded,
     /// Synchronous zero-latency fabric.
     Instant,
     /// Seeded chaos decorator over the instant fabric (pass-through
@@ -56,8 +60,9 @@ pub enum BackendKind {
 }
 
 /// Every backend in the matrix, in canonical order.
-pub const ALL_BACKENDS: [BackendKind; 4] = [
+pub const ALL_BACKENDS: [BackendKind; 5] = [
     BackendKind::Sim,
+    BackendKind::SimSharded,
     BackendKind::Instant,
     BackendKind::Lossy,
     BackendKind::Shm,
@@ -68,6 +73,7 @@ impl BackendKind {
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Sim => "sim",
+            BackendKind::SimSharded => "sim-sharded",
             BackendKind::Instant => "instant",
             BackendKind::Lossy => "lossy",
             BackendKind::Shm => "shm",
@@ -128,6 +134,15 @@ impl Bed {
                 let s = Scheduler::new();
                 sched = Some(s.clone());
                 SimFabric::new(s, FabricParams::default())
+            }
+            BackendKind::SimSharded => {
+                // Two nodes → two shards; lookahead is the fabric's LogGP
+                // wire latency, exactly as the full-stack worlds set it.
+                let params = FabricParams::default();
+                let lookahead = partix_sim::SimDuration::from_nanos_f64(params.loggp.l);
+                let s = Scheduler::sharded(2, lookahead, 2);
+                sched = Some(s.clone());
+                SimFabric::new(s, params)
             }
             BackendKind::Instant => InstantFabric::new(),
             BackendKind::Lossy => {

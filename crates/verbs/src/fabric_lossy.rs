@@ -98,6 +98,15 @@ pub struct LossyFabric {
     sched: Option<Scheduler>,
     cfg: LossyConfig,
     rng: Mutex<StdRng>,
+    /// Per-source-node RNG streams, used instead of the shared `rng` when
+    /// the scheduler is sharded: with shards executing concurrently, a
+    /// single stream's draw order would depend on wall-clock interleaving,
+    /// while per-node streams are pure functions of each node's (shard-
+    /// deterministic) attempt order. Seeds derive from `cfg.seed` via
+    /// `split_seed`, so the fault pattern is reproducible per node.
+    node_rngs: Mutex<std::collections::HashMap<u32, StdRng>>,
+    /// True when `sched` executes on the sharded PDES engine.
+    sharded: bool,
     stats: LossyStats,
     /// Self-handle for timer closures (retransmissions re-enter `attempt`).
     me: Weak<LossyFabric>,
@@ -127,14 +136,36 @@ impl LossyFabric {
                 && (0.0..=1.0).contains(&cfg.delay_p),
             "loss probabilities must be within [0, 1]"
         );
+        let sharded = sched.as_ref().is_some_and(|s| s.is_sharded());
         Arc::new_cyclic(|me| LossyFabric {
             inner,
             sched,
             cfg,
             rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+            node_rngs: Mutex::new(std::collections::HashMap::new()),
+            sharded,
             stats: LossyStats::default(),
             me: me.clone(),
         })
+    }
+
+    /// Run `f` against the RNG stream that governs attempts from
+    /// `src_node`: the shared stream in sequential/instant mode (draw order
+    /// = global attempt order), a per-node split stream in sharded mode.
+    fn with_rng<R>(&self, src_node: u32, f: impl FnOnce(&mut StdRng) -> R) -> R {
+        if self.sharded {
+            let mut map = self.node_rngs.lock();
+            let rng = map.entry(src_node).or_insert_with(|| {
+                StdRng::seed_from_u64(partix_sim::split_seed(
+                    self.cfg.seed,
+                    "lossy-node",
+                    src_node as u64,
+                ))
+            });
+            f(rng)
+        } else {
+            f(&mut self.rng.lock())
+        }
     }
 
     /// The loss model in force.
@@ -177,13 +208,12 @@ impl LossyFabric {
         self.stats.attempts.fetch_add(1, Ordering::Relaxed);
         // Draw all three decisions up front so the consumed randomness per
         // attempt is fixed regardless of which branches fire.
-        let (drop_roll, dup_roll, delay_roll) = {
-            let mut rng = self.rng.lock();
+        let (drop_roll, dup_roll, delay_roll) = self.with_rng(job.src_node, |rng| {
             let d: f64 = rng.random();
             let u: f64 = rng.random();
             let y: f64 = rng.random();
             (d, u, y)
-        };
+        });
 
         // Duplicate: the wire delivers an extra ghost copy alongside the
         // original. The ghost shares the original's PSN, so at most one of
@@ -264,7 +294,9 @@ impl LossyFabric {
         if delay_roll < self.cfg.delay_p && self.cfg.max_delay_ns > 0 {
             self.stats.delayed.fetch_add(1, Ordering::Relaxed);
             net.telemetry().wire.delayed.inc();
-            let extra = self.rng.lock().random_range(0..self.cfg.max_delay_ns);
+            let extra = self.with_rng(job.src_node, |rng| {
+                rng.random_range(0..self.cfg.max_delay_ns)
+            });
             job.opts.extra_wire_latency += SimDuration::from_nanos(extra);
         }
         self.inner.submit(net, job);

@@ -298,50 +298,95 @@ impl Fabric for SimFabric {
         });
         let (_, egress_done) = egress.reserve(nic_done, wire_cost);
         let dst_node = job.dst_node;
+
+        self.stats.transfers.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+
+        let latency = SimDuration::from_nanos_f64(p.loggp.l) + job.opts.extra_wire_latency;
+        let o_r = SimDuration::from_nanos_f64(p.loggp.o_r);
+        let ack_latency = SimDuration::from_nanos_f64(p.loggp.l);
+        let copy_data = p.copy_data;
+
+        if self.sched.is_sharded() {
+            // Sharded delivery is split in two so that every resource is
+            // touched only by events on its owning node's shard. The
+            // source-side event reserves nic/engine/egress (above) and sends
+            // a cross-shard arrival at `head_arrive = src wire end + wire
+            // latency` (>= now + L, so the lookahead always holds); the
+            // arrival event on the receiver's shard reserves its ingress
+            // port — in deterministic receiver event order — and finishes
+            // the identical arithmetic: `delivered = max(engine, egress,
+            // ingress done) + latency = max(head_arrive, ingress_done +
+            // latency)`.
+            let head_arrive = engine_done.max(egress_done) + latency;
+            let ingress = get_or_insert(&self.ingress, job.dst_node, &self.span_log, || {
+                (format!("ingress[node {dst_node}]"), dst_node, INGRESS_TID)
+            });
+            let net = net.clone();
+            let sched = self.sched.clone();
+            self.sched.at_node(dst_node, head_arrive, move || {
+                let (_, ingress_done) = ingress.reserve(nic_done, wire_cost);
+                let delivered = head_arrive.max(ingress_done + latency);
+                record_wire_span(&net, &job, doorbell, delivered);
+                let recv_visible = delivered + o_r;
+                let ack = delivered + ack_latency;
+                let sched2 = sched.clone();
+                sched.at_node(dst_node, recv_visible, move || {
+                    deliver_with_rnr_retry(&sched2, &net, job, copy_data, ack, ack_latency, 0);
+                });
+            });
+            return;
+        }
+
         let ingress = get_or_insert(&self.ingress, job.dst_node, &self.span_log, || {
             (format!("ingress[node {dst_node}]"), dst_node, INGRESS_TID)
         });
         let (_, ingress_done) = ingress.reserve(nic_done, wire_cost);
 
         let wire_end = engine_done.max(egress_done).max(ingress_done);
-        let latency = SimDuration::from_nanos_f64(p.loggp.l) + job.opts.extra_wire_latency;
         let delivered = wire_end + latency;
         let recv_visible = delivered + SimDuration::from_nanos_f64(p.loggp.o_r);
         let ack = delivered + SimDuration::from_nanos_f64(p.loggp.l);
-
-        self.stats.transfers.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
 
         // Flow tracing: both the doorbell instant and the delivery instant
         // fall out of the reservation arithmetic above, so the wire-time
         // sample is recorded passively here — no extra scheduler events,
         // keeping traced runs byte-identical to untraced ones.
-        let flows = &net.telemetry().flows;
-        let wire_ns = delivered.saturating_since(doorbell).as_nanos();
-        flows.event_at(
-            job.flow,
-            partix_telemetry::FlowStage::WireSubmit,
-            doorbell.as_nanos(),
-            job.src_qp,
-            0,
-            wire_ns,
-        );
-        if job.flow != 0 {
-            flows.stage_ns(|s| &s.wire, wire_ns);
-        }
+        record_wire_span(net, &job, doorbell, delivered);
 
         // Delivery event: move the data, push the receive completion, then
         // schedule the send-side ack. Receiver-not-ready re-arms the
         // delivery after the RNR timer instead of failing outright.
         let net = net.clone();
         let sched = self.sched.clone();
-        let copy_data = p.copy_data;
-        let ack_latency = SimDuration::from_nanos_f64(p.loggp.l);
         // Delivery executes on the receiver: route with destination-node
         // affinity so a sharded executor can home it correctly.
         self.sched.at_node(dst_node, recv_visible, move || {
             deliver_with_rnr_retry(&sched, &net, job, copy_data, ack, ack_latency, 0);
         });
+    }
+}
+
+/// Record the passive wire-stage flow sample for `job`: doorbell instant,
+/// wire residency up to `delivered`.
+fn record_wire_span(
+    net: &Arc<NetworkState>,
+    job: &TransferJob,
+    doorbell: partix_sim::SimTime,
+    delivered: partix_sim::SimTime,
+) {
+    let flows = &net.telemetry().flows;
+    let wire_ns = delivered.saturating_since(doorbell).as_nanos();
+    flows.event_at(
+        job.flow,
+        partix_telemetry::FlowStage::WireSubmit,
+        doorbell.as_nanos(),
+        job.src_qp,
+        0,
+        wire_ns,
+    );
+    if job.flow != 0 {
+        flows.stage_ns(|s| &s.wire, wire_ns);
     }
 }
 
@@ -397,7 +442,16 @@ fn deliver_with_rnr_retry(
         }
     }
     let status = outcome_status(&outcome);
-    let at = ack_at.max(sched.now());
+    let at = if sched.is_sharded() {
+        // The delivery event runs at `delivered + o_r`, which is *after*
+        // `ack_at = delivered + L` was computed; crossing back to the
+        // sender's shard needs the full wire latency from the current
+        // instant, so the ack pays at least `now + L`. (Virtual-time only;
+        // identical on every sharded executor and job count.)
+        ack_at.max(sched.now() + ack_latency)
+    } else {
+        ack_at.max(sched.now())
+    };
     let net = net.clone();
     // The completion lands in the sender's CQ: source-node affinity.
     let src_node = job.src_node;

@@ -123,7 +123,8 @@ impl HaloDriver {
             );
             for (t, a) in arrivals.into_iter().enumerate() {
                 let outs: Vec<PsendRequest> = rank_sends.clone();
-                sched.at(t0 + a, move || {
+                // Thread arrivals happen at the computing rank.
+                sched.at_node(rank_id as u32, t0 + a, move || {
                     for s in &outs {
                         s.pready(t as u32).expect("pready");
                     }
@@ -143,11 +144,11 @@ impl HaloDriver {
             self.totals.lock().push(total);
         }
         if idx + 1 < self.cfg.warmup + self.cfg.iters {
+            // The iteration driver lives at rank 0.
             let me = self.clone();
-            self.world
-                .scheduler()
-                .expect("sim world")
-                .after(SimDuration::from_micros(5), move || me.start_iteration());
+            let sched = self.world.scheduler().expect("sim world");
+            let at = sched.now() + SimDuration::from_micros(5);
+            sched.at_node(0, at, move || me.start_iteration());
         }
     }
 }

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod fault_sweep;
+pub mod fullstack;
 pub mod halo;
 pub mod netgauge_provider;
 pub mod noise;
@@ -66,6 +67,9 @@ pub mod traced;
 pub mod tuning_search;
 
 pub use fault_sweep::{FaultCell, FaultSweep};
+pub use fullstack::{
+    run_fullstack, run_fullstack_observed, Executor, FullStackConfig, FullStackReport,
+};
 pub use noise::{NoiseModel, ThreadTiming};
 pub use runner::{
     run_pt2pt, run_pt2pt_observed, run_pt2pt_with_sink, Pt2PtConfig, Pt2PtResult, RoundSample,

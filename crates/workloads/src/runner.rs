@@ -177,7 +177,8 @@ impl Driver {
 
         for (i, a) in arrivals.into_iter().enumerate() {
             let send = self.send.clone();
-            sched.at(t0 + a, move || {
+            // Thread arrivals happen at the sending rank (0).
+            sched.at_node(0, t0 + a, move || {
                 send.pready(i as u32).expect("pready");
             });
         }
@@ -206,13 +207,13 @@ impl Driver {
         }
         if idx + 1 < self.rounds_total {
             // A small inter-iteration gap, as a benchmark loop would have.
+            // The loop body lives at the sending rank (0).
             let me = self.clone();
-            self.world.scheduler().expect("sim world").after(
-                SimDuration::from_micros(1),
-                move || {
-                    me.start_round();
-                },
-            );
+            let sched = self.world.scheduler().expect("sim world");
+            let at = sched.now() + SimDuration::from_micros(1);
+            sched.at_node(0, at, move || {
+                me.start_round();
+            });
         }
     }
 }

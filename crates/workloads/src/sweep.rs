@@ -159,9 +159,11 @@ impl SweepDriver {
             .arrivals(self.cfg.threads, self.cfg.seed, round_key);
         let sched = self.world.scheduler().expect("sim world");
         let t0 = self.world.now();
+        let rank = node.id;
         for (t, a) in arrivals.into_iter().enumerate() {
             let outputs: Vec<PsendRequest> = node.outputs.clone();
-            sched.at(t0 + a, move || {
+            // Thread arrivals happen at the computing rank.
+            sched.at_node(rank, t0 + a, move || {
                 for out in &outputs {
                     out.pready(t as u32).expect("pready");
                 }
@@ -180,13 +182,13 @@ impl SweepDriver {
             self.totals.lock().push(total);
         }
         if idx + 1 < self.cfg.warmup + self.cfg.iters {
+            // The iteration driver lives at the corner rank (0).
             let me = self.clone();
-            self.world.scheduler().expect("sim world").after(
-                SimDuration::from_micros(5),
-                move || {
-                    me.start_iteration();
-                },
-            );
+            let sched = self.world.scheduler().expect("sim world");
+            let at = sched.now() + SimDuration::from_micros(5);
+            sched.at_node(0, at, move || {
+                me.start_iteration();
+            });
         }
     }
 }

@@ -7,7 +7,7 @@
 //! ledger counters) are byte-identical across the matrix. Scenarios also
 //! self-check the telemetry invariant laws per backend.
 
-use partix_verbs::conformance::{assert_uniform, scenarios};
+use partix_verbs::conformance::{assert_uniform, scenarios, BackendKind};
 
 fn run(name: &str) {
     let table = scenarios();
@@ -44,6 +44,25 @@ macro_rules! conformance_tests {
             assert_eq!(covered.len(), table.len(), "stale test entries");
         }
     };
+}
+
+/// The whole scenario table, digest-compared head-to-head: the sequential
+/// sim backend (whose digests the matrix pins) against the sharded PDES
+/// executor running the same fabric with two shards and two worker threads.
+/// Byte-identical digests here are the conformance half of the "full stack
+/// on the sharded engine" guarantee; the workload half lives in
+/// `pdes_determinism`.
+#[test]
+fn sharded_executor_digests_match_sequential_sim() {
+    for s in &scenarios() {
+        let sequential = (s.run)(BackendKind::Sim);
+        let sharded = (s.run)(BackendKind::SimSharded);
+        assert_eq!(
+            sequential, sharded,
+            "scenario {}: sharded executor digest diverged from sequential sim",
+            s.name
+        );
+    }
 }
 
 conformance_tests!(

@@ -6,6 +6,9 @@
 //! order — checked end to end through the order-sensitive workload digests
 //! (any reordering anywhere in the run changes the digest).
 
+use partix_workloads::fullstack::{
+    run_fullstack, run_fullstack_observed, Executor, FullStackConfig,
+};
 use partix_workloads::pdes::{run_fanin, run_sweep, PdesOutcome, PdesWorkloadConfig};
 
 const JOB_MATRIX: [usize; 4] = [1, 2, 4, 8];
@@ -64,6 +67,99 @@ fn shard_count_changes_the_schedule_not_the_model() {
     assert!(
         events.windows(2).all(|w| w[0] == w[1]),
         "fan-in event totals must be shard-count-invariant, got {events:?}"
+    );
+}
+
+/// Full-stack executor independence: the entire verbs pipeline — partitioned
+/// aggregation runtime, DES fabric, optionally the lossy wire — through the
+/// job matrix, comparing the completion-record digest AND the canonical
+/// telemetry ledger digest against the sequential reference. Ledger equality
+/// is the stronger claim: every per-QP/CQ counter, all wire counters, and all
+/// runtime counters byte-identical, with all conservation laws clean.
+fn assert_fullstack_matrix_agrees(name: &str, cfg: &FullStackConfig) {
+    let reference = run_fullstack(cfg, Executor::Reference);
+    assert!(
+        reference.invariants_clean,
+        "{name}: reference run left a dirty ledger"
+    );
+    for jobs in JOB_MATRIX {
+        let got = run_fullstack(cfg, Executor::Sharded(jobs));
+        assert_eq!(
+            got.digest, reference.digest,
+            "{name}: completion digest diverged from the reference at jobs={jobs}"
+        );
+        assert_eq!(
+            got.ledger_digest, reference.ledger_digest,
+            "{name}: telemetry ledger diverged from the reference at jobs={jobs}"
+        );
+        assert_eq!(
+            (got.events, got.makespan, got.drops, got.retransmits),
+            (
+                reference.events,
+                reference.makespan,
+                reference.drops,
+                reference.retransmits
+            ),
+            "{name}: schedule shape diverged from the reference at jobs={jobs}"
+        );
+        assert!(
+            got.invariants_clean,
+            "{name}: jobs={jobs} left a dirty ledger"
+        );
+    }
+}
+
+#[test]
+fn fullstack_figure_agrees_across_the_job_matrix() {
+    for seed in [7, 4242] {
+        let cfg = FullStackConfig::figure(6, seed);
+        assert_fullstack_matrix_agrees(&format!("figure seed={seed}"), &cfg);
+    }
+}
+
+#[test]
+fn fullstack_chaos_agrees_across_the_job_matrix() {
+    for seed in [7, 4242] {
+        let cfg = FullStackConfig::chaos(6, 0.10, seed);
+        let reference = run_fullstack(&cfg, Executor::Reference);
+        assert!(
+            reference.drops > 0,
+            "chaos seed={seed} must actually drop packets for the test to bite"
+        );
+        assert_fullstack_matrix_agrees(&format!("chaos seed={seed}"), &cfg);
+    }
+}
+
+#[test]
+fn fullstack_figure_events_all_carry_node_affinity() {
+    // The census extension of the `at_node` audit: after a full figure
+    // workload every scheduler event must have been attributed to a real
+    // rank — nothing in the overflow slot, and every rank's shard fielded
+    // work. An unattributed event would pin work to shard 0 regardless of
+    // owner, silently serialising the parallel engine.
+    let cfg = FullStackConfig::figure(6, 99);
+    let (report, _world, sched) = run_fullstack_observed(&cfg, Executor::Reference, None);
+    assert!(report.invariants_clean);
+    let census = sched.node_event_counts();
+    assert_eq!(
+        census.len(),
+        cfg.ranks as usize + 1,
+        "counters for ranks 0..ranks plus the overflow slot"
+    );
+    let (per_rank, overflow) = census.split_at(cfg.ranks as usize);
+    assert_eq!(
+        overflow,
+        &[0],
+        "no full-stack event may target an out-of-range node"
+    );
+    for (rank, &count) in per_rank.iter().enumerate() {
+        assert!(count > 0, "rank {rank} fielded no node-affine events");
+    }
+    assert_eq!(
+        census.iter().sum::<u64>(),
+        report.events,
+        "every executed event must be node-affine (zero slipped through \
+         the non-affine `at` path)"
     );
 }
 
