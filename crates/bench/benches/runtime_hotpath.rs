@@ -315,6 +315,10 @@ enum Traced {
     /// Causal flow tracing: flow-ID minting, per-stage events, and
     /// residency histograms (`World::enable_flow_tracing`).
     Flows,
+    /// Windowed time-series sampling: the scheduler ticks a `Sampler`
+    /// at batch boundaries and it captures delta frames of the ledger
+    /// (`World::enable_sampling`).
+    Sampled,
 }
 
 /// Telemetry overhead: the same simulated round with and without the
@@ -322,8 +326,10 @@ enum Traced {
 /// the product), so each traced round isolates the cost of one `--trace`
 /// ingredient: `Spans` pays the OnceLock load per resource reservation
 /// plus span recording; `Flows` pays flow-ID minting, per-stage event
-/// stamping, histogram records, and the per-round drain. The acceptance
-/// bounds (each within 5% of untraced) are asserted in `main`.
+/// stamping, histogram records, and the per-round drain; `Sampled` pays
+/// the scheduler's batch-boundary sampler tick plus a ledger snapshot
+/// whenever sim time crosses a window boundary. The acceptance bounds
+/// (each within 5% of untraced) are asserted in `main`.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     use partix_core::telemetry::FlowLog;
     use partix_core::SpanLog;
@@ -338,6 +344,8 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         if let Some(flow_log) = &flow_log {
             world.enable_flow_tracing(flow_log.clone());
         }
+        let sampler = (traced == Traced::Sampled)
+            .then(|| world.enable_sampling(SimDuration::from_micros(100), 512));
         let p0 = world.proc(0);
         let p1 = world.proc(1);
         let parts = 64u32;
@@ -362,6 +370,9 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             if let Some(flow_log) = &flow_log {
                 black_box(flow_log.drain());
             }
+            if let Some(sampler) = &sampler {
+                black_box(sampler.frames_captured());
+            }
         }
     }
 
@@ -372,6 +383,8 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.bench_function("round_traced", |b| b.iter(&mut spans));
     let mut flows = sim_round_world(Traced::Flows);
     g.bench_function("round_flow_traced", |b| b.iter(&mut flows));
+    let mut sampled = sim_round_world(Traced::Sampled);
+    g.bench_function("round_sampled", |b| b.iter(&mut sampled));
     g.finish();
 }
 
@@ -660,8 +673,9 @@ fn main() {
     }
     report_dataplane(&c, &dataplane);
 
-    // Acceptance bounds: span tracing and flow tracing (histograms and
-    // causal stage events) must each stay within 5% of the untraced round
+    // Acceptance bounds: span tracing, flow tracing (histograms and causal
+    // stage events), and windowed sampling must each stay within 5% of the
+    // untraced round
     // (smoke mode records no timings, so the checks only run on real
     // measurements; a filter may also have skipped a pair). Scheduler
     // noise on a busy host can swing either single statistic by several
@@ -674,6 +688,7 @@ fn main() {
         for (what, id) in [
             ("span tracing", "telemetry/round_traced"),
             ("flow tracing + histograms", "telemetry/round_flow_traced"),
+            ("windowed sampling", "telemetry/round_sampled"),
         ] {
             if let (Some(untraced), Some(traced)) = (untraced.clone(), sample(id)) {
                 assert!(

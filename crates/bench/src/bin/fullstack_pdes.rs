@@ -6,13 +6,21 @@
 //!
 //! ```text
 //! fullstack_pdes [--ranks N] [--jobs LIST] [--smoke] [--out DIR] [--seed S]
+//!                [--flightrec]
 //! ```
 //!
 //! Every scenario runs once on the reference executor and once per `--jobs`
 //! value on the epoch-parallel engine. Any divergence — completion-record
-//! digest, telemetry ledger digest, event count, virtual makespan, or
-//! per-stage histogram totals — exits non-zero: the parallel engine has no
-//! license to change the simulation, only to finish it sooner.
+//! digest, telemetry ledger digest, event count, virtual makespan,
+//! per-stage histogram totals, or the byte-for-byte windowed time-series
+//! frame stream — exits non-zero: the parallel engine has no license to
+//! change the simulation, only to finish it sooner.
+//!
+//! `--flightrec` additionally re-runs the chaos scenario with flow tracing
+//! attached and writes a flight-recorder dump
+//! (`<out>/flightrec_fullstack_chaos.json`: last frames + flow-log tail)
+//! whether or not anything went wrong, so CI always has the crash-forensics
+//! artifact to upload.
 //!
 //! On hosts with at least 4 CPUs (and outside `--smoke`), the figure sweep
 //! additionally gates on a >=1.5x events/sec speedup at `--jobs 4` over
@@ -21,12 +29,19 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
-use partix_core::telemetry::FlowLog;
+use partix_core::telemetry::{frames_json, FlightRecorder, FlowLog};
+use partix_core::SimDuration;
+use partix_verbs::conformance::fnv1a;
 use partix_workloads::fullstack::{
-    run_fullstack_observed, Executor, FullStackConfig, FullStackReport,
+    run_fullstack_instrumented, Executor, FullStackConfig, FullStackReport,
 };
+
+/// Sampling window every scenario runs with: fine enough that even the
+/// smoke ring captures several frames, coarse enough to stay negligible.
+const SAMPLING: (SimDuration, usize) = (SimDuration::from_micros(100), 512);
 
 struct StageRow {
     name: &'static str,
@@ -47,6 +62,8 @@ struct ScenarioResult {
     scenario: String,
     digest: u64,
     ledger_digest: u64,
+    frames: u64,
+    frames_digest: u64,
     events: u64,
     makespan_ns: u64,
     drops: u64,
@@ -57,8 +74,10 @@ struct ScenarioResult {
 
 /// The facts two executors must agree on byte-for-byte. Stage histogram
 /// (count, sum) pairs ride along: the residency multisets are virtual-time
-/// facts, so a parallel run may not change them either.
-fn comparison_key(report: &FullStackReport, stages: &[StageRow]) -> Vec<u64> {
+/// facts, so a parallel run may not change them either. So is the windowed
+/// time-series: frames capture at epoch barriers in virtual time, hence the
+/// digest of the canonical frames rendering is part of the key.
+fn comparison_key(report: &FullStackReport, stages: &[StageRow], frames_digest: u64) -> Vec<u64> {
     let mut k = vec![
         report.digest,
         report.ledger_digest,
@@ -67,6 +86,7 @@ fn comparison_key(report: &FullStackReport, stages: &[StageRow]) -> Vec<u64> {
         report.drops,
         report.retransmits,
         report.duplicates,
+        frames_digest,
     ];
     for s in stages {
         k.push(s.count);
@@ -75,10 +95,19 @@ fn comparison_key(report: &FullStackReport, stages: &[StageRow]) -> Vec<u64> {
     k
 }
 
-fn run_once(cfg: &FullStackConfig, executor: Executor) -> (FullStackReport, Vec<StageRow>, f64) {
+struct RunOutcome {
+    report: FullStackReport,
+    stages: Vec<StageRow>,
+    wall: f64,
+    frames: u64,
+    frames_digest: u64,
+}
+
+fn run_once(cfg: &FullStackConfig, executor: Executor) -> RunOutcome {
     let flow_log = FlowLog::new();
     let t0 = Instant::now();
-    let (report, world, _sched) = run_fullstack_observed(cfg, executor, Some(flow_log));
+    let (report, world, _sched) =
+        run_fullstack_instrumented(cfg, executor, Some(flow_log), Some(SAMPLING));
     let wall = t0.elapsed().as_secs_f64();
     if !report.invariants_clean {
         eprintln!(
@@ -103,7 +132,15 @@ fn run_once(cfg: &FullStackConfig, executor: Executor) -> (FullStackReport, Vec<
             mean: h.mean(),
         })
         .collect();
-    (report, stages, wall)
+    let frames = world.sampler().expect("sampling enabled").frames();
+    let rendered = frames_json(&frames);
+    RunOutcome {
+        report,
+        stages,
+        wall,
+        frames: frames.len() as u64,
+        frames_digest: fnv1a(rendered.as_bytes()),
+    }
 }
 
 fn bench_scenario(
@@ -111,17 +148,21 @@ fn bench_scenario(
     cfg: &FullStackConfig,
     jobs_list: &[usize],
 ) -> (ScenarioResult, Vec<(usize, f64)>) {
-    let (reference, ref_stages, ref_wall) = run_once(cfg, Executor::Reference);
-    let ref_key = comparison_key(&reference, &ref_stages);
+    let reference = run_once(cfg, Executor::Reference);
+    let ref_key = comparison_key(
+        &reference.report,
+        &reference.stages,
+        reference.frames_digest,
+    );
     let mut runs = vec![RunRow {
         executor: "reference".into(),
-        wall_ms: ref_wall * 1e3,
-        events_per_sec: reference.events as f64 / ref_wall.max(1e-9),
+        wall_ms: reference.wall * 1e3,
+        events_per_sec: reference.report.events as f64 / reference.wall.max(1e-9),
     }];
     let mut walls = Vec::new();
     for &jobs in jobs_list {
-        let (report, stages, wall) = run_once(cfg, Executor::Sharded(jobs));
-        let key = comparison_key(&report, &stages);
+        let run = run_once(cfg, Executor::Sharded(jobs));
+        let key = comparison_key(&run.report, &run.stages, run.frames_digest);
         if key != ref_key {
             eprintln!(
                 "DETERMINISM VIOLATION: {scenario}: jobs={jobs} diverged from the \
@@ -129,22 +170,24 @@ fn bench_scenario(
             );
             std::process::exit(1);
         }
-        walls.push((jobs, wall));
+        walls.push((jobs, run.wall));
         runs.push(RunRow {
             executor: format!("jobs={jobs}"),
-            wall_ms: wall * 1e3,
-            events_per_sec: report.events as f64 / wall.max(1e-9),
+            wall_ms: run.wall * 1e3,
+            events_per_sec: run.report.events as f64 / run.wall.max(1e-9),
         });
     }
     println!(
         "{scenario}: {} events, makespan {:.3} ms (virtual), digest {:016x}, \
-         ledger {:016x}, drops {}, retransmits {}",
-        reference.events,
-        reference.makespan.as_nanos() as f64 / 1e6,
-        reference.digest,
-        reference.ledger_digest,
-        reference.drops,
-        reference.retransmits,
+         ledger {:016x}, drops {}, retransmits {}, {} frames ({:016x})",
+        reference.report.events,
+        reference.report.makespan.as_nanos() as f64 / 1e6,
+        reference.report.digest,
+        reference.report.ledger_digest,
+        reference.report.drops,
+        reference.report.retransmits,
+        reference.frames,
+        reference.frames_digest,
     );
     for r in &runs {
         println!(
@@ -154,13 +197,15 @@ fn bench_scenario(
     }
     let result = ScenarioResult {
         scenario,
-        digest: reference.digest,
-        ledger_digest: reference.ledger_digest,
-        events: reference.events,
-        makespan_ns: reference.makespan.as_nanos(),
-        drops: reference.drops,
-        retransmits: reference.retransmits,
-        stages: ref_stages,
+        digest: reference.report.digest,
+        ledger_digest: reference.report.ledger_digest,
+        frames: reference.frames,
+        frames_digest: reference.frames_digest,
+        events: reference.report.events,
+        makespan_ns: reference.report.makespan.as_nanos(),
+        drops: reference.report.drops,
+        retransmits: reference.report.retransmits,
+        stages: reference.stages,
         runs,
     };
     (result, walls)
@@ -196,6 +241,8 @@ fn render_json(
         let _ = writeln!(w, "      \"scenario\": \"{}\",", s.scenario);
         let _ = writeln!(w, "      \"digest\": \"{:016x}\",", s.digest);
         let _ = writeln!(w, "      \"ledger_digest\": \"{:016x}\",", s.ledger_digest);
+        let _ = writeln!(w, "      \"frames\": {},", s.frames);
+        let _ = writeln!(w, "      \"frames_digest\": \"{:016x}\",", s.frames_digest);
         let _ = writeln!(w, "      \"events\": {},", s.events);
         let _ = writeln!(w, "      \"makespan_ns\": {},", s.makespan_ns);
         let _ = writeln!(w, "      \"drops\": {},", s.drops);
@@ -234,12 +281,14 @@ fn main() {
     let mut ranks: u32 = 12;
     let mut jobs_list: Vec<usize> = vec![1, 2, 4, 8];
     let mut smoke = false;
+    let mut flightrec = false;
     let mut seed: u64 = 20_250_808;
     let mut out = PathBuf::from("results");
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--flightrec" => flightrec = true,
             "--ranks" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
                     eprintln!("error: --ranks requires a positive integer argument");
@@ -355,5 +404,40 @@ fn main() {
     println!();
     for p in &paths {
         println!("wrote {}", p.display());
+    }
+
+    // Forensics pass: re-run the chaos ring with flow tracing, arm a flight
+    // recorder against mid-run panics, and dump unconditionally at the end
+    // so CI always has the artifact.
+    if flightrec {
+        let flow_log = FlowLog::new();
+        let jobs = jobs_list.iter().copied().max().unwrap_or(1);
+        let (report, world, _sched) = run_fullstack_instrumented(
+            &chaos,
+            Executor::Sharded(jobs),
+            Some(flow_log.clone()),
+            Some(SAMPLING),
+        );
+        let sampler = world.sampler().expect("sampling enabled");
+        let rec = Arc::new(
+            FlightRecorder::new("fullstack_chaos", &out, sampler).with_flow_log(flow_log, 256),
+        );
+        rec.arm();
+        let reason = if report.invariants_clean {
+            "manual: --flightrec".to_string()
+        } else {
+            "invariant violation: dirty telemetry ledger".to_string()
+        };
+        match rec.dump(&reason) {
+            Ok(Some(path)) => println!("wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: flight-recorder dump failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !report.invariants_clean {
+            std::process::exit(1);
+        }
     }
 }

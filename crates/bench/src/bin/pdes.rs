@@ -21,6 +21,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use partix_sim::pdes::{imbalance_ratio, PdesShardStat};
 use partix_workloads::pdes::{grid_dims, run_fanin, run_sweep, PdesOutcome, PdesWorkloadConfig};
 
 struct RunRow {
@@ -29,6 +30,7 @@ struct RunRow {
     events_per_sec: f64,
     speedup_vs_reference: f64,
     epochs: u64,
+    barrier_wait_ms: f64,
 }
 
 struct PatternResult {
@@ -38,6 +40,8 @@ struct PatternResult {
     cross_messages: u64,
     makespan_ns: u64,
     digest: u64,
+    imbalance_ratio: f64,
+    shards: Vec<PdesShardStat>,
     runs: Vec<RunRow>,
 }
 
@@ -61,6 +65,7 @@ fn bench_pattern(
         events_per_sec: events as f64 / ref_wall.max(1e-9),
         speedup_vs_reference: 1.0,
         epochs: 0,
+        barrier_wait_ms: 0.0,
     }];
     for &jobs in jobs_list {
         let (out, wall) = time_run(|| run(cfg, Some(jobs)));
@@ -78,6 +83,7 @@ fn bench_pattern(
             events_per_sec: events as f64 / wall.max(1e-9),
             speedup_vs_reference: ref_wall / wall.max(1e-9),
             epochs: out.report.epochs,
+            barrier_wait_ms: out.barrier_wait_ns as f64 / 1e6,
         });
     }
     Ok(PatternResult {
@@ -87,6 +93,8 @@ fn bench_pattern(
         cross_messages: cross,
         makespan_ns,
         digest: reference.digest,
+        imbalance_ratio: imbalance_ratio(&reference.shard_stats),
+        shards: reference.shard_stats,
         runs,
     })
 }
@@ -122,6 +130,24 @@ fn render_into(
         writeln!(f, "      \"cross_messages\": {},", p.cross_messages)?;
         writeln!(f, "      \"makespan_ns\": {},", p.makespan_ns)?;
         writeln!(f, "      \"digest\": \"{:016x}\",", p.digest)?;
+        writeln!(f, "      \"imbalance_ratio\": {:.3},", p.imbalance_ratio)?;
+        writeln!(f, "      \"shards\": [")?;
+        for (j, s) in p.shards.iter().enumerate() {
+            let sep = if j + 1 == p.shards.len() { "" } else { "," };
+            writeln!(
+                f,
+                "        {{\"shard\": {}, \"events\": {}, \"sent_cross\": {}, \
+                 \"mailbox_high_water\": {}, \"mailbox_overflows\": {}, \
+                 \"slab_high_water\": {}}}{sep}",
+                s.shard,
+                s.events,
+                s.sent_cross,
+                s.mailbox_high_water,
+                s.mailbox_overflows,
+                s.slab_high_water,
+            )?;
+        }
+        writeln!(f, "      ],")?;
         writeln!(f, "      \"runs\": [")?;
         for (j, r) in p.runs.iter().enumerate() {
             let sep = if j + 1 == p.runs.len() { "" } else { "," };
@@ -129,8 +155,13 @@ fn render_into(
                 f,
                 "        {{\"executor\": \"{}\", \"wall_ms\": {:.3}, \
                  \"events_per_sec\": {:.0}, \"speedup_vs_reference\": {:.3}, \
-                 \"epochs\": {}}}{sep}",
-                r.executor, r.wall_ms, r.events_per_sec, r.speedup_vs_reference, r.epochs,
+                 \"epochs\": {}, \"barrier_wait_ms\": {:.3}}}{sep}",
+                r.executor,
+                r.wall_ms,
+                r.events_per_sec,
+                r.speedup_vs_reference,
+                r.epochs,
+                r.barrier_wait_ms,
             )?;
         }
         writeln!(f, "      ]")?;
@@ -230,21 +261,28 @@ fn main() {
         match result {
             Ok(p) => {
                 println!(
-                    "\n{}: {} nodes, {} events, {} cross-shard msgs, makespan {:.3} ms (virtual)",
+                    "\n{}: {} nodes, {} events, {} cross-shard msgs, makespan {:.3} ms \
+                     (virtual), shard imbalance {:.2}x",
                     p.pattern,
                     p.nodes,
                     p.events,
                     p.cross_messages,
-                    p.makespan_ns as f64 / 1e6
+                    p.makespan_ns as f64 / 1e6,
+                    p.imbalance_ratio,
                 );
                 println!(
-                    "  {:<12} {:>10} {:>14} {:>9} {:>8}",
-                    "executor", "wall_ms", "events/sec", "speedup", "epochs"
+                    "  {:<12} {:>10} {:>14} {:>9} {:>8} {:>12}",
+                    "executor", "wall_ms", "events/sec", "speedup", "epochs", "barrier_ms"
                 );
                 for r in &p.runs {
                     println!(
-                        "  {:<12} {:>10.2} {:>14.0} {:>9.2} {:>8}",
-                        r.executor, r.wall_ms, r.events_per_sec, r.speedup_vs_reference, r.epochs
+                        "  {:<12} {:>10.2} {:>14.0} {:>9.2} {:>8} {:>12.2}",
+                        r.executor,
+                        r.wall_ms,
+                        r.events_per_sec,
+                        r.speedup_vs_reference,
+                        r.epochs,
+                        r.barrier_wait_ms,
                     );
                 }
                 patterns.push(p);

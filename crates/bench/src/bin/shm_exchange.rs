@@ -2,8 +2,14 @@
 //! shared-memory fabric. Writes `results/BENCH_shm.json`.
 //!
 //! ```text
-//! shm_exchange [--smoke] [--out DIR]
+//! shm_exchange [--smoke] [--out DIR] [--prom ADDR]
 //! ```
+//!
+//! `--prom ADDR` (e.g. `127.0.0.1:9464`) attaches a wall-clock telemetry
+//! sampler to the sender's progress thread and serves the latest window
+//! frame as a Prometheus scrape endpoint for the duration of the run —
+//! `curl http://ADDR/metrics` while the bench streams to watch
+//! `partix_window_*` deltas and `partix_gauge_*` ring counters live.
 //!
 //! The parent process is rank A (node 0); it re-executes itself as rank B
 //! (node 1) with `--role b`. The two processes bootstrap exactly like a
@@ -27,7 +33,9 @@ use std::process::Command;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use partix_bench::prom::PromServer;
 use partix_verbs::shm::{await_blob, default_shm_dir, publish_blob};
+use partix_verbs::telemetry::{Sample, SampleSource, Sampler, SamplerConfig};
 use partix_verbs::{
     Network, Opcode, PeerId, QpCaps, QpState, RecvWr, SendWr, Sge, ShmConfig, ShmFabric,
     VerbsError, WcStatus,
@@ -89,10 +97,35 @@ fn parse_kv(report: &str, key: &str) -> Option<u64> {
     })
 }
 
+/// Attach a wall-clock sampler (1 ms windows, last 600 retained) to the
+/// sender fabric and serve its latest frame at `addr`.
+fn start_prom(addr: &str, fabric: &Arc<ShmFabric>, net: &Network) -> PromServer {
+    let state = net.state().clone();
+    let fab = fabric.clone();
+    let source: SampleSource = Arc::new(move || Sample {
+        snapshot: state.telemetry_snapshot(),
+        stages: Vec::new(),
+        gauges: fab.sample_gauges(),
+    });
+    let sampler = Sampler::new(
+        SamplerConfig {
+            interval_ns: 1_000_000,
+            capacity: 600,
+            deterministic: false,
+        },
+        source,
+    );
+    fabric.attach_sampler(sampler.clone());
+    let srv = PromServer::bind(addr, sampler).expect("bind Prometheus endpoint");
+    println!("serving metrics at http://{}/metrics", srv.local_addr());
+    srv
+}
+
 /// Rank A: the sender / orchestrator.
-fn role_a(dir: &Path, smoke: bool, out: &Path) {
+fn role_a(dir: &Path, smoke: bool, out: &Path, prom: Option<&str>) {
     let fabric = ShmFabric::host(dir.to_path_buf(), ShmConfig::default());
     let net = Network::new(2, fabric.clone() as Arc<dyn partix_verbs::Fabric>);
+    let _prom_server = prom.map(|addr| start_prom(addr, &fabric, &net));
     let a = net.open(0).expect("node 0");
     let pd = a.alloc_pd();
     let (send_cq, recv_cq) = (a.create_cq(), a.create_cq());
@@ -240,7 +273,7 @@ fn role_a(dir: &Path, smoke: bool, out: &Path) {
     }
 
     publish_blob(dir, "shutdown_a", b"bye").expect("publish shutdown");
-    write_json(out, smoke, &results).expect("write BENCH_shm.json");
+    write_json(out, smoke, &results, &fabric.sample_gauges()).expect("write BENCH_shm.json");
     assert!(
         fabric.quiesce(Duration::from_secs(10)),
         "sender fabric failed to quiesce"
@@ -341,45 +374,58 @@ fn role_b(dir: &Path, smoke: bool) {
     fabric.shutdown();
 }
 
-fn write_json(out: &Path, smoke: bool, results: &[RowResult]) -> std::io::Result<()> {
-    use std::io::Write;
-    std::fs::create_dir_all(out)?;
-    let path = out.join("BENCH_shm.json");
-    let mut f = std::fs::File::create(&path)?;
+fn write_json(
+    out: &Path,
+    smoke: bool,
+    results: &[RowResult],
+    fabric_gauges: &[(&'static str, u64)],
+) -> std::io::Result<()> {
+    use std::fmt::Write;
+    let mut f = String::new();
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"bench\": \"shm_exchange\",")?;
-    writeln!(f, "  \"smoke\": {smoke},")?;
-    writeln!(f, "  \"host_cpus\": {host_cpus},")?;
-    writeln!(f, "  \"window\": {WINDOW},")?;
-    writeln!(f, "  \"slots\": {SLOTS},")?;
-    writeln!(f, "  \"rows\": [")?;
+    let w = &mut f;
+    let _ = writeln!(w, "{{");
+    let _ = writeln!(w, "  \"bench\": \"shm_exchange\",");
+    let _ = writeln!(w, "  \"smoke\": {smoke},");
+    let _ = writeln!(w, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(w, "  \"window\": {WINDOW},");
+    let _ = writeln!(w, "  \"slots\": {SLOTS},");
+    let _ = writeln!(w, "  \"sender_fabric\": {{");
+    for (i, (name, v)) in fabric_gauges.iter().enumerate() {
+        let sep = if i + 1 == fabric_gauges.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(w, "    \"{name}\": {v}{sep}");
+    }
+    let _ = writeln!(w, "  }},");
+    let _ = writeln!(w, "  \"rows\": [");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
-        writeln!(f, "    {{")?;
-        writeln!(f, "      \"msg_bytes\": {},", r.msg_bytes)?;
-        writeln!(f, "      \"messages\": {},", r.messages)?;
-        writeln!(f, "      \"wall_s\": {:.6},", r.wall_s)?;
-        writeln!(f, "      \"msgs_per_sec\": {:.0},", r.msgs_per_sec)?;
-        writeln!(f, "      \"gb_per_sec\": {:.4},", r.gb_per_sec)?;
-        writeln!(f, "      \"sender_retransmits\": {},", r.sender_retransmits)?;
-        writeln!(f, "      \"sender_stale_acks\": {},", r.sender_stale_acks)?;
-        writeln!(
-            f,
+        let _ = writeln!(w, "    {{");
+        let _ = writeln!(w, "      \"msg_bytes\": {},", r.msg_bytes);
+        let _ = writeln!(w, "      \"messages\": {},", r.messages);
+        let _ = writeln!(w, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(w, "      \"msgs_per_sec\": {:.0},", r.msgs_per_sec);
+        let _ = writeln!(w, "      \"gb_per_sec\": {:.4},", r.gb_per_sec);
+        let _ = writeln!(w, "      \"sender_retransmits\": {},", r.sender_retransmits);
+        let _ = writeln!(w, "      \"sender_stale_acks\": {},", r.sender_stale_acks);
+        let _ = writeln!(
+            w,
             "      \"sender_ring_full_stalls\": {},",
             r.sender_ring_full_stalls
-        )?;
-        writeln!(f, "      \"receiver_report\": \"{}\"", r.receiver_report)?;
-        writeln!(f, "    }}{sep}")?;
+        );
+        let _ = writeln!(w, "      \"receiver_report\": \"{}\"", r.receiver_report);
+        let _ = writeln!(w, "    }}{sep}");
     }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    drop(f);
-    println!("wrote {}", path.display());
-    if let Some(mirror) = partix_bench::artifacts::mirror_to_repo_root(&path)? {
-        println!("wrote {}", mirror.display());
+    let _ = writeln!(w, "  ]");
+    let _ = writeln!(w, "}}");
+    let paths = partix_bench::artifacts::write_artifact(out, "BENCH_shm.json", &f)?;
+    for p in &paths {
+        println!("wrote {}", p.display());
     }
     Ok(())
 }
@@ -389,6 +435,7 @@ fn main() {
     let mut smoke = false;
     let mut out = PathBuf::from("results");
     let mut dir: Option<PathBuf> = None;
+    let mut prom: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -396,6 +443,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--out" => out = PathBuf::from(it.next().expect("--out requires a value")),
             "--dir" => dir = Some(PathBuf::from(it.next().expect("--dir requires a value"))),
+            "--prom" => prom = Some(it.next().expect("--prom requires an address")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -420,7 +468,7 @@ fn main() {
                 cmd.arg("--smoke");
             }
             let mut child = cmd.spawn().expect("spawn rank B");
-            role_a(&dir, smoke, &out);
+            role_a(&dir, smoke, &out, prom.as_deref());
             let status = child.wait().expect("wait for rank B");
             assert!(status.success(), "rank B exited with {status:?}");
             let _ = std::fs::remove_dir_all(&dir);

@@ -3,6 +3,7 @@
 //! ```text
 //! trace report <trace.json> [--stalls K] [--expo FILE] [--strict]
 //! trace diff <baseline.json> <candidate.json> [--threshold F]
+//! trace timeline <trace.json> [--expo FILE]
 //! ```
 //!
 //! `report` reconstructs per-flow critical paths from a `trace_<tag>.json`
@@ -16,15 +17,22 @@
 //! `diff` compares per-stage p50/p95/p99 between two traces and exits
 //! non-zero when the candidate regresses beyond `--threshold` (fractional;
 //! default 0.10 = 10%).
+//!
+//! `timeline` tabulates the windowed time-series frames of a sampled run
+//! (one row per window: ledger deltas and wire_ns window percentiles, plus
+//! a rate-of-change sparkline per series). It also reads flight-recorder
+//! dumps (`flightrec_<tag>.json`). `--expo FILE` writes the Prometheus
+//! exposition of the latest frame.
 
 use std::path::{Path, PathBuf};
 
-use partix_bench::tracefile::{diff, report, TraceFile};
+use partix_bench::tracefile::{diff, latest_frame_exposition, report, timeline, TraceFile};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  trace report <trace.json> [--stalls K] [--expo FILE] [--strict]\n  \
-         trace diff <baseline.json> <candidate.json> [--threshold F]"
+         trace diff <baseline.json> <candidate.json> [--threshold F]\n  \
+         trace timeline <trace.json> [--expo FILE]"
     );
     std::process::exit(2);
 }
@@ -126,11 +134,49 @@ fn cmd_diff(args: &[String]) -> i32 {
     }
 }
 
+fn cmd_timeline(args: &[String]) -> i32 {
+    let mut file = None;
+    let mut expo: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--expo" => match it.next() {
+                Some(p) => expo = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+    let tf = load(&file);
+    let Some(text) = timeline(&tf) else {
+        eprintln!(
+            "{}: no time-series frames (run the workload with sampling enabled)",
+            file.display()
+        );
+        return 1;
+    };
+    print!("{text}");
+    if let Some(out) = expo {
+        let text = latest_frame_exposition(&tf).expect("frames checked above");
+        if let Err(e) = std::fs::write(&out, text) {
+            eprintln!("error: {}: {e}", out.display());
+            return 2;
+        }
+        println!("\nwrote latest-frame exposition to {}", out.display());
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
         _ => usage(),
     };
     std::process::exit(code);

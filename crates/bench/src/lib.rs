@@ -12,5 +12,6 @@ pub mod artifacts;
 pub mod check;
 pub mod experiments;
 pub mod plots;
+pub mod prom;
 pub mod report;
 pub mod tracefile;

@@ -1,0 +1,178 @@
+//! A minimal Prometheus scrape endpoint for live sampled runs.
+//!
+//! [`PromServer::bind`] spawns one background thread with a blocking
+//! `TcpListener`; every HTTP request is answered with the text exposition
+//! of the sampler's **latest** window frame (`partix_window_*` ledger
+//! deltas, `partix_gauge_*` transport gauges, and the frame's stage
+//! histogram windows — see `partix_verbs::telemetry::frame_exposition`).
+//! The request line is read and discarded: a scrape endpoint serves one
+//! document, so the path does not matter. No HTTP library is involved —
+//! the repo carries no network dependencies, and Prometheus' text format
+//! needs nothing beyond a status line and `Content-Type`.
+//!
+//! Intended use: the `shm_exchange` binary's `--prom ADDR` flag, so a real
+//! wall-clock ShmFabric run can be watched from a live dashboard while it
+//! executes. Simulated runs are better served by writing the trace file
+//! and using `trace timeline --expo`.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use partix_verbs::telemetry::{frame_exposition, Sampler};
+
+/// A running scrape endpoint. Dropping it stops the listener thread.
+pub struct PromServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl PromServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
+    /// serve the latest frame of `sampler` to every connection.
+    pub fn bind(addr: &str, sampler: Arc<Sampler>) -> std::io::Result<PromServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("partix-prom".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Scrapes are tiny and rare; serve inline.
+                    let _ = serve_one(stream, &sampler);
+                }
+            })?;
+        Ok(PromServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for PromServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Answer one scrape: drain the request head, write the exposition.
+fn serve_one(mut stream: TcpStream, sampler: &Arc<Sampler>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+    // Read until the blank line ending the request head (or timeout); the
+    // content is irrelevant, but draining it keeps clients happy.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = match sampler.latest() {
+        Some(frame) => frame_exposition(&frame),
+        None => "# no frames captured yet\n".to_string(),
+    };
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_verbs::telemetry::{Sample, SamplerConfig, Snapshot};
+
+    fn sampler_with_frame() -> Arc<Sampler> {
+        let source = Arc::new(|| {
+            let mut snapshot = Snapshot::default();
+            snapshot.wire.delivered = 5;
+            Sample {
+                snapshot,
+                stages: Vec::new(),
+                gauges: vec![("ring_full_stalls", 2)],
+            }
+        });
+        let sampler = Sampler::new(
+            SamplerConfig {
+                interval_ns: 100,
+                capacity: 8,
+                deterministic: false,
+            },
+            source,
+        );
+        sampler.capture(100);
+        sampler
+    }
+
+    fn scrape(addr: std::net::SocketAddr) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_the_latest_frame_to_http_scrapes() {
+        let mut srv = PromServer::bind("127.0.0.1:0", sampler_with_frame()).unwrap();
+        let response = scrape(srv.local_addr());
+        assert!(response.starts_with("HTTP/1.0 200 OK"));
+        assert!(response.contains("text/plain"));
+        assert!(response.contains("partix_window_wire_delivered 5"));
+        assert!(response.contains("partix_gauge_ring_full_stalls 2"));
+        // Scrapes are repeatable.
+        assert!(scrape(srv.local_addr()).contains("partix_window_seq"));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn empty_sampler_yields_a_placeholder_document() {
+        let sampler = Sampler::new(
+            SamplerConfig {
+                interval_ns: 100,
+                capacity: 8,
+                deterministic: false,
+            },
+            Arc::new(Sample::default),
+        );
+        let srv = PromServer::bind("127.0.0.1:0", sampler).unwrap();
+        let response = scrape(srv.local_addr());
+        assert!(response.contains("no frames captured yet"));
+        // Drop stops the thread without hanging.
+    }
+}

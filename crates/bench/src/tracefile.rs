@@ -231,8 +231,54 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// A loaded trace artifact: the workload tag, raw flow events, and the
-/// per-stage residency histograms.
+/// One parsed time-series frame: a window of ledger deltas, stage-histogram
+/// windows, and transport gauges. Field lists keep source order; unknown
+/// keys survive parsing, so the reader never lags the writer.
+pub struct FrameRow {
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Window-end timestamp (virtual or wall ns, per the producing clock).
+    pub t_ns: u64,
+    /// Window length in ns.
+    pub span_ns: u64,
+    /// Wire-ledger deltas for this window.
+    pub wire: Vec<(String, u64)>,
+    /// Runtime-ledger deltas for this window.
+    pub runtime: Vec<(String, u64)>,
+    /// Arena-ledger deltas for this window.
+    pub arena: Vec<(String, u64)>,
+    /// Per-stage histogram *windows* (activity inside this frame only).
+    pub stages: Vec<(String, HistSnapshot)>,
+    /// Transport gauges: `(name, cumulative total, window delta)`.
+    pub gauges: Vec<(String, u64, u64)>,
+}
+
+impl FrameRow {
+    /// A wire delta by field name (0 when absent).
+    pub fn wire_val(&self, key: &str) -> u64 {
+        self.wire
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// A runtime delta by field name (0 when absent).
+    pub fn runtime_val(&self, key: &str) -> u64 {
+        self.runtime
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// A stage-histogram window by name.
+    pub fn stage(&self, name: &str) -> Option<&HistSnapshot> {
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+/// A loaded trace artifact: the workload tag, raw flow events, the
+/// per-stage residency histograms, and any time-series frames. Both
+/// `trace_<tag>.json` and `flightrec_<tag>.json` parse into this shape.
 pub struct TraceFile {
     /// Workload tag from the trace metadata.
     pub workload: String,
@@ -240,6 +286,8 @@ pub struct TraceFile {
     pub flows: Vec<FlowEvent>,
     /// Per-stage histogram snapshots, in file order.
     pub stages: Vec<(String, HistSnapshot)>,
+    /// Windowed time-series frames (empty when the run was unsampled).
+    pub frames: Vec<FrameRow>,
 }
 
 impl TraceFile {
@@ -252,9 +300,11 @@ impl TraceFile {
     /// Parse a trace document.
     pub fn parse(src: &str) -> Result<TraceFile, String> {
         let doc = parse_json(src)?;
+        // Trace artifacts carry meta.workload; flight-recorder dumps carry
+        // meta.tag. Accept either so both feed the same analyses.
         let workload = doc
             .get("meta")
-            .and_then(|m| m.get("workload"))
+            .and_then(|m| m.get("workload").or_else(|| m.get("tag")))
             .and_then(Json::as_str)
             .unwrap_or("unknown")
             .to_string();
@@ -285,45 +335,21 @@ impl TraceFile {
                 aux: num(5)?,
             });
         }
-        let mut stages = Vec::new();
-        if let Some(Json::Obj(members)) = doc.get("stages") {
-            for (name, snap) in members {
-                let field = |k: &str| -> Result<u64, String> {
-                    snap.get(k)
-                        .and_then(Json::as_u64)
-                        .ok_or_else(|| format!("stage {name}: missing {k}"))
-                };
-                let mut buckets = Vec::new();
-                for b in snap
-                    .get("buckets")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| format!("stage {name}: missing buckets"))?
-                {
-                    let b = b.as_arr().ok_or("bucket is not an array")?;
-                    if b.len() != 3 {
-                        return Err("bucket is not a [lo, hi, count] triple".into());
-                    }
-                    buckets.push(partix_verbs::telemetry::HistBucket {
-                        lo: b[0].as_u64().ok_or("bucket lo")?,
-                        hi: b[1].as_u64().ok_or("bucket hi")?,
-                        count: b[2].as_u64().ok_or("bucket count")?,
-                    });
-                }
-                stages.push((
-                    name.clone(),
-                    HistSnapshot {
-                        count: field("count")?,
-                        sum: field("sum")?,
-                        max: field("max")?,
-                        buckets,
-                    },
-                ));
+        let stages = match doc.get("stages") {
+            Some(v) => parse_stage_map(v)?,
+            None => Vec::new(),
+        };
+        let mut frames = Vec::new();
+        if let Some(rows) = doc.get("frames").and_then(Json::as_arr) {
+            for row in rows {
+                frames.push(parse_frame(row)?);
             }
         }
         Ok(TraceFile {
             workload,
             flows,
             stages,
+            frames,
         })
     }
 
@@ -345,6 +371,197 @@ impl TraceFile {
             .map(|(n, s)| (n.as_str(), s.clone()))
             .collect()
     }
+}
+
+/// Parse a `{"name": {count, sum, max, buckets}}` histogram map (the shape
+/// of the document-level `"stages"` key and of each frame's stage windows).
+fn parse_stage_map(v: &Json) -> Result<Vec<(String, HistSnapshot)>, String> {
+    let Json::Obj(members) = v else {
+        return Err("stage map is not an object".into());
+    };
+    let mut stages = Vec::new();
+    for (name, snap) in members {
+        let field = |k: &str| -> Result<u64, String> {
+            snap.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stage {name}: missing {k}"))
+        };
+        let mut buckets = Vec::new();
+        for b in snap
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("stage {name}: missing buckets"))?
+        {
+            let b = b.as_arr().ok_or("bucket is not an array")?;
+            if b.len() != 3 {
+                return Err("bucket is not a [lo, hi, count] triple".into());
+            }
+            buckets.push(partix_verbs::telemetry::HistBucket {
+                lo: b[0].as_u64().ok_or("bucket lo")?,
+                hi: b[1].as_u64().ok_or("bucket hi")?,
+                count: b[2].as_u64().ok_or("bucket count")?,
+            });
+        }
+        stages.push((
+            name.clone(),
+            HistSnapshot {
+                count: field("count")?,
+                sum: field("sum")?,
+                max: field("max")?,
+                buckets,
+            },
+        ));
+    }
+    Ok(stages)
+}
+
+/// Flatten a `{field: number}` ledger object into name/value pairs,
+/// skipping non-numeric members.
+fn parse_ledger(v: Option<&Json>) -> Vec<(String, u64)> {
+    let Some(Json::Obj(members)) = v else {
+        return Vec::new();
+    };
+    members
+        .iter()
+        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+        .collect()
+}
+
+/// Parse one entry of the `"frames"` array.
+fn parse_frame(row: &Json) -> Result<FrameRow, String> {
+    let num = |k: &str| -> Result<u64, String> {
+        row.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("frame missing {k:?}"))
+    };
+    let stages = match row.get("stages") {
+        Some(v) => parse_stage_map(v)?,
+        None => Vec::new(),
+    };
+    let mut gauges = Vec::new();
+    if let Some(Json::Obj(members)) = row.get("gauges") {
+        for (name, g) in members {
+            let total = g.get("total").and_then(Json::as_u64).unwrap_or(0);
+            let delta = g.get("delta").and_then(Json::as_u64).unwrap_or(0);
+            gauges.push((name.clone(), total, delta));
+        }
+    }
+    Ok(FrameRow {
+        seq: num("seq")?,
+        t_ns: num("t_ns")?,
+        span_ns: num("span_ns")?,
+        wire: parse_ledger(row.get("wire")),
+        runtime: parse_ledger(row.get("runtime")),
+        arena: parse_ledger(row.get("arena")),
+        stages,
+        gauges,
+    })
+}
+
+/// The delta series tabulated (and sparklined) by [`timeline`]: a short
+/// label, the ledger it reads, and the field name.
+const TIMELINE_COLS: [(&str, &str, &str); 5] = [
+    ("delivered", "wire", "delivered"),
+    ("bytes", "wire", "bytes_delivered"),
+    ("retrans", "wire", "retransmits"),
+    ("preadys", "runtime", "preadys"),
+    ("agg_wrs", "runtime", "aggregated_wrs"),
+];
+
+/// Render the per-window timeline: one row per frame with the key ledger
+/// deltas and the `wire_ns` window percentiles, then a rate-of-change
+/// sparkline per tabulated series. Returns `None` when the trace carries
+/// no frames (unsampled run).
+pub fn timeline(tf: &TraceFile) -> Option<String> {
+    if tf.frames.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# trace timeline — workload: {}, {} windows",
+        tf.workload,
+        tf.frames.len()
+    );
+    let _ = write!(out, "{:>4} {:>12} {:>10}", "seq", "t_us", "span_us");
+    for (label, _, _) in TIMELINE_COLS {
+        let _ = write!(out, " {label:>10}");
+    }
+    let _ = writeln!(out, " {:>9} {:>9}", "wire_p50", "wire_p99");
+    let pick = |f: &FrameRow, ledger: &str, field: &str| -> u64 {
+        match ledger {
+            "wire" => f.wire_val(field),
+            _ => f.runtime_val(field),
+        }
+    };
+    for f in &tf.frames {
+        let _ = write!(
+            out,
+            "{:>4} {:>12.1} {:>10.1}",
+            f.seq,
+            f.t_ns as f64 / 1e3,
+            f.span_ns as f64 / 1e3
+        );
+        for (_, ledger, field) in TIMELINE_COLS {
+            let _ = write!(out, " {:>10}", pick(f, ledger, field));
+        }
+        match f.stage("wire_ns") {
+            Some(h) if h.count > 0 => {
+                let _ = writeln!(out, " {:>9} {:>9}", h.quantile(0.50), h.quantile(0.99));
+            }
+            _ => {
+                let _ = writeln!(out, " {:>9} {:>9}", "-", "-");
+            }
+        }
+    }
+    let _ = writeln!(out, "\n## per-window rates");
+    for (label, ledger, field) in TIMELINE_COLS {
+        let series: Vec<u64> = tf.frames.iter().map(|f| pick(f, ledger, field)).collect();
+        let peak = series.iter().copied().max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:>10} |{}| peak {}/window",
+            label,
+            partix_profiler::sparkline(&series),
+            peak
+        );
+    }
+    Some(out)
+}
+
+/// Prometheus text exposition of the **latest** frame in a loaded trace,
+/// mirroring the live `frame_exposition` encoder: `partix_window_*` ledger
+/// deltas, `partix_gauge_*` transport gauges, and the frame's stage windows.
+pub fn latest_frame_exposition(tf: &TraceFile) -> Option<String> {
+    let f = tf.frames.last()?;
+    let mut s = String::with_capacity(2048);
+    let mut gauge = |name: &str, v: u64| {
+        let _ = writeln!(s, "# TYPE {name} gauge");
+        let _ = writeln!(s, "{name} {v}");
+    };
+    gauge("partix_window_seq", f.seq);
+    gauge("partix_window_t_ns", f.t_ns);
+    gauge("partix_window_span_ns", f.span_ns);
+    for (k, v) in &f.wire {
+        gauge(&format!("partix_window_wire_{k}"), *v);
+    }
+    for (k, v) in &f.runtime {
+        gauge(&format!("partix_window_runtime_{k}"), *v);
+    }
+    for (k, v) in &f.arena {
+        gauge(&format!("partix_window_arena_{k}"), *v);
+    }
+    for (name, total, delta) in &f.gauges {
+        gauge(&format!("partix_gauge_{name}"), *total);
+        gauge(&format!("partix_gauge_{name}_delta"), *delta);
+    }
+    let refs: Vec<(&str, HistSnapshot)> = f
+        .stages
+        .iter()
+        .map(|(n, h)| (n.as_str(), h.clone()))
+        .collect();
+    s.push_str(&partix_verbs::telemetry::exposition(&refs));
+    Some(s)
 }
 
 /// Render the per-stage percentile table and the top-`k` stall report.
@@ -538,6 +755,82 @@ mod tests {
         let text = report(&tf, 3);
         assert!(text.contains("wire_ns"));
         assert!(text.contains("delta_timer_hold"));
+    }
+
+    fn framed_doc() -> String {
+        "{\"meta\": {\"workload\": \"framed\", \"format\": 1},\n\
+         \"traceEvents\": [],\n\
+         \"flows\": [],\n\
+         \"stages\": {},\n\
+         \"frames\": [\n\
+           {\"seq\": 0, \"t_ns\": 1000, \"span_ns\": 1000, \"qps\": [], \"cqs\": [],\n\
+            \"wire\": {\"delivered\": 4, \"bytes_delivered\": 4096, \"retransmits\": 0},\n\
+            \"runtime\": {\"preadys\": 8, \"aggregated_wrs\": 2},\n\
+            \"arena\": {},\n\
+            \"stages\": {\"wire_ns\": {\"count\": 2, \"sum\": 600, \"max\": 400,\n\
+                         \"buckets\": [[256, 512, 2]]}},\n\
+            \"gauges\": {\"ring_full_stalls\": {\"total\": 7, \"delta\": 3}}},\n\
+           {\"seq\": 1, \"t_ns\": 2000, \"span_ns\": 1000, \"qps\": [], \"cqs\": [],\n\
+            \"wire\": {\"delivered\": 12, \"bytes_delivered\": 12288, \"retransmits\": 1},\n\
+            \"runtime\": {\"preadys\": 8, \"aggregated_wrs\": 6},\n\
+            \"arena\": {},\n\
+            \"stages\": {},\n\
+            \"gauges\": {}}\n\
+         ],\n\
+         \"displayTimeUnit\": \"ns\"}\n"
+            .to_string()
+    }
+
+    #[test]
+    fn trace_file_parses_frames_and_renders_the_timeline() {
+        let tf = TraceFile::parse(&framed_doc()).unwrap();
+        assert_eq!(tf.frames.len(), 2);
+        let f0 = &tf.frames[0];
+        assert_eq!((f0.seq, f0.t_ns, f0.span_ns), (0, 1000, 1000));
+        assert_eq!(f0.wire_val("delivered"), 4);
+        assert_eq!(f0.runtime_val("aggregated_wrs"), 2);
+        assert_eq!(f0.stage("wire_ns").unwrap().count, 2);
+        assert_eq!(f0.gauges, vec![("ring_full_stalls".to_string(), 7, 3)]);
+        // Absent fields read as zero rather than erroring.
+        assert_eq!(f0.wire_val("no_such_counter"), 0);
+
+        let text = timeline(&tf).expect("frames present");
+        assert!(text.contains("workload: framed, 2 windows"));
+        assert!(text.contains("wire_p99"));
+        // Window 1 delivered three times window 0: the sparkline peaks there.
+        let rates = text.lines().find(|l| l.contains("delivered |")).unwrap();
+        assert!(rates.contains('█'), "peak window must render full: {rates}");
+        assert!(rates.contains("peak 12/window"));
+        // Unsampled traces yield no timeline.
+        let plain = TraceFile::parse(&sample_doc(&[100])).unwrap();
+        assert!(plain.frames.is_empty());
+        assert!(timeline(&plain).is_none());
+    }
+
+    #[test]
+    fn latest_frame_exposition_mirrors_the_live_encoder() {
+        let tf = TraceFile::parse(&framed_doc()).unwrap();
+        let expo = latest_frame_exposition(&tf).unwrap();
+        assert!(expo.contains("partix_window_seq 1"));
+        assert!(expo.contains("partix_window_wire_delivered 12"));
+        assert!(expo.contains("partix_window_runtime_preadys 8"));
+        let none = TraceFile::parse(&sample_doc(&[100])).unwrap();
+        assert!(latest_frame_exposition(&none).is_none());
+        // Gauges and stage windows of the latest frame expose as
+        // partix_gauge_* / partix_stage_*: parse a one-frame doc whose
+        // frame carries both.
+        let doc = "{\"meta\": {\"workload\": \"one\"}, \"flows\": [],\n\
+             \"frames\": [{\"seq\": 0, \"t_ns\": 10, \"span_ns\": 10,\n\
+             \"wire\": {}, \"runtime\": {}, \"arena\": {},\n\
+             \"stages\": {\"wire_ns\": {\"count\": 1, \"sum\": 300, \"max\": 300,\n\
+             \"buckets\": [[256, 512, 1]]}},\n\
+             \"gauges\": {\"ring_full_stalls\": {\"total\": 7, \"delta\": 3}}}]}";
+        let tf1 = TraceFile::parse(doc).unwrap();
+        assert_eq!(tf1.frames.len(), 1);
+        let expo1 = latest_frame_exposition(&tf1).unwrap();
+        assert!(expo1.contains("partix_gauge_ring_full_stalls 7"));
+        assert!(expo1.contains("partix_gauge_ring_full_stalls_delta 3"));
+        assert!(expo1.contains("# TYPE partix_stage_wire_ns histogram"));
     }
 
     #[test]

@@ -15,8 +15,10 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
-use partix_sim::{Scheduler, SerialResource, SimTime, TimeSource};
-use partix_verbs::telemetry::{invariants, Registry, Snapshot, SpanLog};
+use partix_sim::{Scheduler, SerialResource, SimDuration, SimTime, TimeSource};
+use partix_verbs::telemetry::{
+    invariants, Registry, Sample, Sampler, SamplerConfig, Snapshot, SpanLog,
+};
 use partix_verbs::{connect_pair, Fabric, LossyFabric, Network, QpCaps, SimFabric};
 
 use crate::config::PartixConfig;
@@ -92,6 +94,7 @@ pub(crate) struct WorldInner {
     pub procs: Mutex<HashMap<u32, Arc<ProcInner>>>,
     pub sink: SinkHandle,
     pub req_seq: AtomicU64,
+    pub sampler: OnceLock<Arc<Sampler>>,
 }
 
 /// An in-process "MPI world": a set of ranks joined by one fabric.
@@ -167,6 +170,7 @@ impl World {
             procs: Mutex::new(HashMap::new()),
             sink: Arc::new(RwLock::new(None)),
             req_seq: AtomicU64::new(1),
+            sampler: OnceLock::new(),
         });
         (World { inner }, sched)
     }
@@ -196,6 +200,7 @@ impl World {
             procs: Mutex::new(HashMap::new()),
             sink: Arc::new(RwLock::new(None)),
             req_seq: AtomicU64::new(1),
+            sampler: OnceLock::new(),
         });
         World { inner }
     }
@@ -266,6 +271,54 @@ impl World {
     /// Disable causal flow tracing (the histograms keep their samples).
     pub fn disable_flow_tracing(&self) {
         self.telemetry().flows.detach();
+    }
+
+    /// Enable windowed time-series sampling: a [`Sampler`] captures a delta
+    /// frame of the telemetry ledger (and per-stage histograms) every
+    /// `interval` of this world's time, retaining the last `capacity`
+    /// frames. In sim mode the scheduler drives it at deterministic points
+    /// (epoch boundaries on the sharded engine, batch boundaries on the
+    /// sequential one), so frame sequences are byte-identical across job
+    /// counts; wall-clock worlds tick it from whoever drives progress (e.g.
+    /// [`partix_verbs::ShmFabric::attach_sampler`]). Idempotent: a second
+    /// call returns the sampler installed by the first.
+    pub fn enable_sampling(&self, interval: SimDuration, capacity: usize) -> Arc<Sampler> {
+        let sampler = self.inner.sampler.get_or_init(|| {
+            let weak = Arc::downgrade(&self.inner);
+            let source = Arc::new(move || {
+                let Some(inner) = weak.upgrade() else {
+                    return Sample::default();
+                };
+                let state = inner.network.state();
+                Sample {
+                    snapshot: state.telemetry_snapshot(),
+                    stages: state.telemetry().flows.stages.snapshot(),
+                    gauges: Vec::new(),
+                }
+            });
+            Sampler::new(
+                SamplerConfig {
+                    interval_ns: interval.as_nanos().max(1),
+                    capacity,
+                    // Sim-time frames must be jobs-invariant; the arena's
+                    // pool-reuse counters are scheduling noise, like in
+                    // `ledger_digest`.
+                    deterministic: self.inner.sim.is_some(),
+                },
+                source,
+            )
+        });
+        if let Some(sched) = &self.inner.sim {
+            let s = sampler.clone();
+            sched.set_sample_hook(Arc::new(move |t_ns| s.tick(t_ns)));
+        }
+        sampler.clone()
+    }
+
+    /// The sampler installed by [`enable_sampling`](Self::enable_sampling),
+    /// if any.
+    pub fn sampler(&self) -> Option<Arc<Sampler>> {
+        self.inner.sampler.get().cloned()
     }
 
     /// Install an event sink (profiler hook).

@@ -148,6 +148,27 @@ impl Timeline {
     }
 }
 
+/// Render `values` as a one-line unicode sparkline (` ▁▂▃▄▅▆▇█`), scaled to
+/// the series maximum. Used by the trace analyzer's timeline view to show
+/// per-window rate-of-change at a glance. Empty input yields an empty
+/// string; an all-zero series renders as blanks.
+pub fn sparkline(values: &[u64]) -> String {
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                LEVELS[0]
+            } else {
+                // Ceiling division so any nonzero value gets at least ▁.
+                let idx = ((v as u128 * (LEVELS.len() - 1) as u128).div_ceil(max as u128)) as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +247,19 @@ mod tests {
     fn requires_send_start() {
         let tl = Timeline::from_round(&RoundTrace::default(), None);
         assert!(tl.is_none());
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_maximum() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "  ");
+        let s = sparkline(&[0, 1, 4, 8]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[3], '█');
+        // Nonzero values never render as blank.
+        assert!(chars[1] != ' ' && chars[2] != ' ');
     }
 
     #[test]

@@ -63,7 +63,8 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -357,6 +358,56 @@ impl PdesReport {
     }
 }
 
+/// One epoch boundary as seen by the [`EpochHook`]: the state every
+/// executor passes through between safe windows. All three fields are
+/// deterministic — they depend only on the event population and the
+/// lookahead, never on job count (the reference executor reports the same
+/// sequence by emulating the window structure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochObservation {
+    /// Epoch number within this run, starting at 1.
+    pub epoch: u64,
+    /// The global lower bound on pending event time at the boundary.
+    pub lbts: SimTime,
+    /// The window that was just executed ended strictly before this.
+    pub horizon: SimTime,
+}
+
+/// Callback fired after each epoch's advance phase completes, while no
+/// events are in flight (on the parallel executor the barrier leader fires
+/// it; the other workers are blocked or merging mailboxes — which executes
+/// no model code — until it returns). Used to drive telemetry samplers at
+/// deterministic instants.
+pub type EpochHook = Arc<dyn Fn(&EpochObservation) + Send + Sync>;
+
+/// Per-shard execution diagnostics, for load-imbalance analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PdesShardStat {
+    /// Shard id.
+    pub shard: u32,
+    /// Events this shard executed.
+    pub events: u64,
+    /// Cross-shard messages this shard sent.
+    pub sent_cross: u64,
+    /// Peak occupancy of this shard's inbound mailbox.
+    pub mailbox_high_water: usize,
+    /// Pushes into this shard's mailbox beyond its soft capacity bound.
+    pub mailbox_overflows: u64,
+    /// Peak live slots of this shard's event slab.
+    pub slab_high_water: usize,
+}
+
+/// Load-imbalance ratio over per-shard event counts: max over mean, `1.0`
+/// for perfect balance, `0.0` when no events ran.
+pub fn imbalance_ratio(stats: &[PdesShardStat]) -> f64 {
+    let total: u64 = stats.iter().map(|s| s.events).sum();
+    if total == 0 || stats.is_empty() {
+        return 0.0;
+    }
+    let max = stats.iter().map(|s| s.events).max().unwrap_or(0) as f64;
+    max / (total as f64 / stats.len() as f64)
+}
+
 struct ShardCell<L: ShardLogic> {
     id: u32,
     logic: L,
@@ -527,6 +578,10 @@ pub struct Pdes<L: ShardLogic> {
     map: ShardMap,
     cells: Vec<ShardCell<L>>,
     mailboxes: Vec<Mailbox<L::Event>>,
+    epoch_hook: Option<EpochHook>,
+    /// Cumulative wall time workers spent blocked on epoch barriers,
+    /// summed across workers (diagnostic; not part of the report).
+    barrier_wait_ns: AtomicU64,
 }
 
 impl<L: ShardLogic> Pdes<L> {
@@ -557,7 +612,41 @@ impl<L: ShardLogic> Pdes<L> {
             map,
             cells,
             mailboxes,
+            epoch_hook: None,
+            barrier_wait_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Install the epoch-boundary callback (see [`EpochHook`]). Install
+    /// before running; at most one hook is supported.
+    pub fn set_epoch_hook(&mut self, hook: EpochHook) {
+        self.epoch_hook = Some(hook);
+    }
+
+    /// Cumulative wall time workers spent blocked on epoch barriers, summed
+    /// across workers. Zero before a parallel run (the inline and reference
+    /// executors have no barriers).
+    pub fn barrier_wait_ns(&self) -> u64 {
+        self.barrier_wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard execution diagnostics, in shard order.
+    pub fn shard_stats(&self) -> Vec<PdesShardStat> {
+        self.cells
+            .iter()
+            .map(|c| PdesShardStat {
+                shard: c.id,
+                events: c.executed,
+                sent_cross: c.sent_cross,
+                mailbox_high_water: self.mailboxes[c.id as usize]
+                    .high_water
+                    .load(Ordering::Relaxed),
+                mailbox_overflows: self.mailboxes[c.id as usize]
+                    .overflows
+                    .load(Ordering::Relaxed),
+                slab_high_water: c.slab.high_water(),
+            })
+            .collect()
     }
 
     /// The node→shard map in force.
@@ -633,16 +722,21 @@ impl<L: ShardLogic> Pdes<L> {
         let mins: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect();
         let barrier = Barrier::new(jobs);
         let mailboxes = &self.mailboxes;
+        let epoch_hook = &self.epoch_hook;
+        let barrier_acc = &self.barrier_wait_ns;
 
         let finished = par_map(jobs, groups, |mut group: Vec<ShardCell<L>>| {
             let mut epochs = 0u64;
+            let mut waited_ns = 0u64;
             loop {
                 // Phase 1: merge last epoch's messages, publish minima.
                 for cell in &mut group {
                     cell.merge_inbox(&mailboxes[cell.id as usize]);
                     mins[cell.id as usize].store(cell.next_time_ns(), Ordering::Release);
                 }
+                let t0 = Instant::now();
                 barrier.wait();
+                waited_ns += t0.elapsed().as_nanos() as u64;
                 // Every worker computes the same bound from the same
                 // published values, so all exit (or continue) together.
                 let mut lbts = u64::MAX;
@@ -658,8 +752,24 @@ impl<L: ShardLogic> Pdes<L> {
                 for cell in &mut group {
                     cell.run_until(horizon, map, lookahead, mailboxes);
                 }
-                barrier.wait();
+                let t0 = Instant::now();
+                let leader = barrier.wait().is_leader();
+                waited_ns += t0.elapsed().as_nanos() as u64;
+                // Exactly one worker observes the boundary. Safe: until the
+                // leader reaches the next phase-1 barrier, the other workers
+                // only merge mailboxes (no model events execute), so the
+                // hook sees the quiesced post-window state.
+                if leader {
+                    if let Some(hook) = epoch_hook {
+                        hook(&EpochObservation {
+                            epoch: epochs,
+                            lbts: SimTime(lbts),
+                            horizon,
+                        });
+                    }
+                }
             }
+            barrier_acc.fetch_add(waited_ns, Ordering::Relaxed);
             (group, epochs)
         });
 
@@ -692,37 +802,80 @@ impl<L: ShardLogic> Pdes<L> {
             for cell in &mut self.cells {
                 cell.run_until(horizon, map, lookahead, &self.mailboxes);
             }
+            if let Some(hook) = &self.epoch_hook {
+                hook(&EpochObservation {
+                    epoch: epochs,
+                    lbts: SimTime(lbts),
+                    horizon,
+                });
+            }
         }
         self.report(epochs)
     }
 
     /// Sequential **reference executor**: one event at a time in global
     /// `(time, shard, seq)` order, merging cross-shard messages the moment
-    /// they are sent. No epochs, no windows — the plain global-heap
-    /// semantics the parallel protocol must reproduce byte for byte.
-    /// Asymptotically slower (an `O(shards)` scan per event); exists as the
-    /// cross-check oracle and the `--jobs 0` fallback.
+    /// they are sent. The plain global-heap semantics the parallel protocol
+    /// must reproduce byte for byte. Asymptotically slower (an `O(shards)`
+    /// scan per event); exists as the cross-check oracle and the `--jobs 0`
+    /// fallback.
+    ///
+    /// Although execution is strictly one event at a time (never windowed),
+    /// the loop *tracks* the epoch structure the parallel executors would
+    /// impose — `lbts` is recomputed whenever the next event falls at or
+    /// beyond the previous horizon — so the [`EpochHook`] fires at exactly
+    /// the same `(epoch, lbts, horizon)` boundaries with exactly the same
+    /// intermediate model state as every other executor. The report still
+    /// carries `epochs == 0`, preserving the executor's signature.
     pub fn run_reference(&mut self) -> PdesReport {
         let lookahead = self.cfg.lookahead;
         let map = self.map;
-        loop {
-            // Earliest pending event across all shards, by global key.
-            let mut best: Option<(SimTime, u32, u64)> = None;
-            for cell in &self.cells {
-                if let Some(top) = cell.heap.peek() {
-                    let key = (top.time, cell.id, top.seq);
-                    if best.is_none() || key < best.unwrap() {
-                        best = Some(key);
+        let mut epochs = 0u64;
+        'windows: loop {
+            // Boundary: all mailboxes are empty (merged after every event),
+            // so the published minimum is just the earliest pending event.
+            let lbts = self
+                .cells
+                .iter()
+                .map(|c| c.next_time_ns())
+                .min()
+                .unwrap_or(u64::MAX);
+            if lbts == u64::MAX {
+                break 'windows;
+            }
+            epochs += 1;
+            let horizon = SimTime(lbts.saturating_add(lookahead.as_nanos()));
+            loop {
+                // Earliest pending event across all shards, by global key.
+                let mut best: Option<(SimTime, u32, u64)> = None;
+                for cell in &self.cells {
+                    if let Some(top) = cell.heap.peek() {
+                        let key = (top.time, cell.id, top.seq);
+                        if best.is_none() || key < best.unwrap() {
+                            best = Some(key);
+                        }
                     }
                 }
+                // Window exhausted (or engine idle): fire the boundary hook
+                // and open the next window.
+                let Some((time, shard, _)) = best else { break };
+                if time >= horizon {
+                    break;
+                }
+                self.cells[shard as usize].step_one(map, lookahead, &self.mailboxes);
+                // Merge immediately: inbound counters advance in exactly
+                // the global sender order, the order the merge-phase sort
+                // reproduces batch-wise in epoch mode.
+                for cell in &mut self.cells {
+                    cell.merge_inbox(&self.mailboxes[cell.id as usize]);
+                }
             }
-            let Some((_, shard, _)) = best else { break };
-            self.cells[shard as usize].step_one(map, lookahead, &self.mailboxes);
-            // Merge immediately: inbound counters advance in exactly the
-            // global sender order, the order the merge-phase sort
-            // reproduces batch-wise in epoch mode.
-            for cell in &mut self.cells {
-                cell.merge_inbox(&self.mailboxes[cell.id as usize]);
+            if let Some(hook) = &self.epoch_hook {
+                hook(&EpochObservation {
+                    epoch: epochs,
+                    lbts: SimTime(lbts),
+                    horizon,
+                });
             }
         }
         self.report(0)

@@ -41,7 +41,9 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use crate::pdes::{Pdes, PdesConfig, PdesNode, PdesReport, ShardCtx, ShardLogic};
+use crate::pdes::{
+    EpochObservation, Pdes, PdesConfig, PdesNode, PdesReport, PdesShardStat, ShardCtx, ShardLogic,
+};
 use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
 
@@ -270,6 +272,13 @@ struct Sharded {
 /// Source of `Sharded::rt` tokens (0 is reserved for "none").
 static SHARDED_RT: AtomicU64 = AtomicU64::new(1);
 
+/// Sample hook installed by [`Scheduler::set_sample_hook`]: called with the
+/// current simulation time in nanoseconds at deterministic points of the run
+/// loop (epoch boundaries in sharded mode, after each same-timestamp batch
+/// in sequential mode). The callee decides whether a sample is due, so the
+/// hook must be cheap when idle.
+pub type SampleHook = Arc<dyn Fn(u64) + Send + Sync>;
+
 struct Inner {
     now: AtomicU64,
     seq: AtomicU64,
@@ -285,6 +294,9 @@ struct Inner {
     /// Present when this scheduler executes on the sharded PDES engine
     /// instead of the sequential queue.
     sharded: Option<Sharded>,
+    /// Sequential-mode sample hook, called after each executed batch. In
+    /// sharded mode the hook lives on the engine instead (epoch boundaries).
+    sample_hook: OnceLock<SampleHook>,
 }
 
 /// Handle to the discrete-event simulation. Cheap to clone; all clones share
@@ -322,6 +334,7 @@ impl Scheduler {
                 batch_buf: Mutex::new(Vec::with_capacity(MAX_BATCH.min(events.max(16)))),
                 affinity: OnceLock::new(),
                 sharded: None,
+                sample_hook: OnceLock::new(),
             }),
         }
     }
@@ -382,6 +395,7 @@ impl Scheduler {
                         last_report: None,
                     }),
                 }),
+                sample_hook: OnceLock::new(),
             }),
         }
     }
@@ -413,6 +427,43 @@ impl Scheduler {
             .sharded
             .as_ref()
             .and_then(|s| s.engine.lock().last_report)
+    }
+
+    /// Install the time-series sample hook. In sharded mode it fires once
+    /// per barrier epoch with the epoch's LBTS — a quiescent, jobs-invariant
+    /// instant, so frame sequences are byte-identical at any worker count.
+    /// In sequential mode it fires after each same-timestamp batch with the
+    /// batch time. One hook per scheduler; later calls are ignored.
+    pub fn set_sample_hook(&self, hook: SampleHook) {
+        if let Some(sh) = &self.inner.sharded {
+            sh.engine
+                .lock()
+                .pdes
+                .set_epoch_hook(Arc::new(move |obs: &EpochObservation| {
+                    hook(obs.lbts.as_nanos());
+                }));
+            return;
+        }
+        let _ = self.inner.sample_hook.set(hook);
+    }
+
+    /// Per-shard execution stats of a sharded scheduler (events handled,
+    /// cross-shard sends, mailbox high-water). Empty when sequential.
+    pub fn pdes_shard_stats(&self) -> Vec<PdesShardStat> {
+        self.inner
+            .sharded
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.engine.lock().pdes.shard_stats())
+    }
+
+    /// Cumulative wall-clock nanoseconds worker threads spent blocked on
+    /// epoch barriers across all sharded runs. Zero when sequential or on
+    /// the reference executor.
+    pub fn pdes_barrier_wait_ns(&self) -> u64 {
+        self.inner
+            .sharded
+            .as_ref()
+            .map_or(0, |s| s.engine.lock().pdes.barrier_wait_ns())
     }
 
     /// The `ShardCtx` published by `ClosureShard::handle` when the calling
@@ -661,6 +712,9 @@ impl Scheduler {
             first.run();
             for ev in buf.drain(..) {
                 ev.run();
+            }
+            if let Some(hook) = self.inner.sample_hook.get() {
+                hook(t.as_nanos());
             }
         }
         buf.clear();
@@ -1113,5 +1167,54 @@ mod tests {
         });
         sim.run();
         assert_eq!(*log.lock(), vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn sequential_sample_hook_sees_batch_times() {
+        let sim = Scheduler::new();
+        let ticks = Arc::new(Mutex::new(Vec::new()));
+        let t2 = ticks.clone();
+        sim.set_sample_hook(Arc::new(move |t| t2.lock().push(t)));
+        for t in [10u64, 10, 20, 30] {
+            sim.at(SimTime(t), || {});
+        }
+        sim.run();
+        // One call per same-timestamp batch, in order.
+        assert_eq!(*ticks.lock(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn sharded_sample_hook_ticks_are_jobs_invariant() {
+        let la = SimDuration(10);
+        let ticks_for = |jobs: usize| {
+            let sim = Scheduler::sharded(4, la, jobs);
+            let ticks = Arc::new(Mutex::new(Vec::new()));
+            let t2 = ticks.clone();
+            sim.set_sample_hook(Arc::new(move |t| t2.lock().push(t)));
+            hop_chain(&sim, la, 40);
+            let out = ticks.lock().clone();
+            out
+        };
+        let want = ticks_for(1);
+        assert!(!want.is_empty(), "epoch hook never fired");
+        for jobs in [2, 4] {
+            assert_eq!(ticks_for(jobs), want, "jobs={jobs} tick sequence diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_shard_stats_cover_every_shard() {
+        let la = SimDuration(10);
+        let sim = Scheduler::sharded(4, la, 2);
+        hop_chain(&sim, la, 40);
+        let stats = sim.pdes_shard_stats();
+        assert_eq!(stats.len(), 4);
+        let total: u64 = stats.iter().map(|s| s.events).sum();
+        assert_eq!(total, 41);
+        let ratio = crate::pdes::imbalance_ratio(&stats);
+        assert!(ratio >= 1.0, "imbalance ratio {ratio} below 1.0");
+        // Sequential schedulers report nothing.
+        assert!(Scheduler::new().pdes_shard_stats().is_empty());
+        assert_eq!(Scheduler::new().pdes_barrier_wait_ns(), 0);
     }
 }

@@ -379,6 +379,12 @@ impl FlowRecorder {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// The attached flow log, if any — e.g. for a flight recorder that
+    /// wants the event tail without owning the log itself.
+    pub fn log(&self) -> Option<Arc<FlowLog>> {
+        self.log.get().cloned()
+    }
+
     /// Mint a fresh flow ID, or 0 when tracing is off (0 = untraced).
     #[inline]
     pub fn next_flow_id(&self) -> u64 {

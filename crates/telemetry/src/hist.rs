@@ -164,7 +164,7 @@ pub struct HistBucket {
 }
 
 /// An owned, immutable snapshot of a [`LogHistogram`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistSnapshot {
     /// Total number of recorded values.
     pub count: u64,

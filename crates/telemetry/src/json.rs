@@ -18,6 +18,7 @@ use crate::flow::{FlowEvent, FlowStage};
 use crate::hist::HistSnapshot;
 use crate::invariants::Report;
 use crate::snapshot::Snapshot;
+use crate::timeseries::Frame;
 use crate::trace::SpanEvent;
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -205,6 +206,167 @@ fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
+/// Append `"k": v` pairs, comma-separated, without surrounding braces.
+fn push_pairs(s: &mut String, pairs: &[(&'static str, u64)]) {
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{k}\": {v}");
+    }
+}
+
+/// Append the `{"stage": {count, sum, max, buckets}}` map the `trace`
+/// analyzer reads, shared by the trace artifact and frame rendering.
+fn push_stage_map(s: &mut String, stages: &[(&str, HistSnapshot)], pad: &str) {
+    s.push('{');
+    for (i, (name, snap)) in stages.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n{pad}\"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+            escape(name),
+            snap.count,
+            snap.sum,
+            snap.max,
+        );
+        for (j, b) in snap.buckets.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "[{}, {}, {}]", b.lo, b.hi, b.count);
+        }
+        s.push_str("]}");
+    }
+    if !stages.is_empty() {
+        s.push('\n');
+        s.push_str(&pad[..pad.len().saturating_sub(2)]);
+    }
+    s.push('}');
+}
+
+/// Append one [`Frame`] as a compact JSON object (ledger deltas, stage
+/// windows, gauges) with the same key names as the telemetry artifact.
+fn push_frame_obj(s: &mut String, f: &Frame) {
+    let _ = write!(
+        s,
+        "{{\"seq\": {}, \"t_ns\": {}, \"span_ns\": {}, \"qps\": [",
+        f.seq, f.t_ns, f.span_ns
+    );
+    for (i, q) in f.deltas.qps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"node\": {}, \"qp_num\": {}, \"state\": \"{}\", ",
+            q.node,
+            q.qp_num,
+            escape(q.state)
+        );
+        push_pairs(s, &q.counter_fields());
+        s.push('}');
+    }
+    s.push_str("], \"cqs\": [");
+    for (i, c) in f.deltas.cqs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"cq_id\": {}, \"pushed\": [", c.cq_id);
+        for (j, v) in c.pushed_by_status.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{v}");
+        }
+        s.push_str("], ");
+        push_pairs(s, &c.counter_fields());
+        s.push('}');
+    }
+    s.push_str("], \"wire\": {");
+    push_pairs(s, &f.deltas.wire.fields());
+    s.push_str("}, \"runtime\": {");
+    push_pairs(s, &f.deltas.runtime.fields());
+    s.push_str("}, \"arena\": {");
+    push_pairs(s, &f.deltas.arena.fields());
+    s.push_str("}, \"stages\": ");
+    push_stage_map(s, &f.stages, "    ");
+    s.push_str(", \"gauges\": {");
+    for (i, g) in f.gauges.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "\"{}\": {{\"total\": {}, \"delta\": {}}}",
+            escape(g.name),
+            g.total,
+            g.delta
+        );
+    }
+    s.push_str("}}");
+}
+
+/// Render a frame sequence as a JSON array, one frame per line. This is
+/// the canonical rendering the determinism suites byte-compare, and the
+/// value of the `frames` key in trace and flight-recorder artifacts.
+pub fn frames_json(frames: &[Frame]) -> String {
+    let mut s = String::with_capacity(64 + frames.len() * 512);
+    s.push('[');
+    for (i, f) in frames.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  ");
+        push_frame_obj(&mut s, f);
+    }
+    s.push_str("\n]");
+    s
+}
+
+/// Append one flow event as the `[flow, "stage", ts, qp, chan, aux]` tuple
+/// the `trace` analyzer reads.
+fn push_flow_tuple(s: &mut String, e: &FlowEvent) {
+    let _ = write!(
+        s,
+        "[{}, \"{}\", {}, {}, {}, {}]",
+        e.flow,
+        e.stage.name(),
+        e.ts_ns,
+        e.qp,
+        e.chan,
+        e.aux,
+    );
+}
+
+/// Render the flight-recorder dump: run metadata, the retained frame ring,
+/// and the tail of the flow log.
+pub fn flightrec_json(tag: &str, reason: &str, frames: &[Frame], flows: &[FlowEvent]) -> String {
+    let mut s = String::with_capacity(256 + frames.len() * 512 + flows.len() * 48);
+    let _ = write!(
+        s,
+        "{{\"meta\": {{\"tag\": \"{}\", \"reason\": \"{}\", \"format\": 1, \
+         \"frames\": {}, \"flow_tail\": {}}},\n\"frames\": ",
+        escape(tag),
+        escape(reason),
+        frames.len(),
+        flows.len(),
+    );
+    s.push_str(&frames_json(frames));
+    s.push_str(",\n\"flows\": [");
+    for (i, e) in flows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  ");
+        push_flow_tuple(&mut s, e);
+    }
+    s.push_str("\n]}\n");
+    s
+}
+
 /// Write the full trace artifact for one run at `path`: chrome-trace span
 /// events plus, when flow tracing was armed, flow arrows ("s"/"f" pairs
 /// linking each flow's post to its arrival), the raw flow-event list, and
@@ -218,10 +380,24 @@ pub fn write_trace_json(
     flows: &[FlowEvent],
     stages: &[(&str, HistSnapshot)],
 ) -> io::Result<()> {
+    write_trace_json_with_frames(path, workload, spans, flows, stages, &[])
+}
+
+/// [`write_trace_json`] plus the sampler's frame ring under a `frames`
+/// key, and per-window chrome counter tracks (`ph: "C"`) so Perfetto plots
+/// delivery and aggregation rates over the span timeline.
+pub fn write_trace_json_with_frames(
+    path: &Path,
+    workload: &str,
+    spans: &[SpanEvent],
+    flows: &[FlowEvent],
+    stages: &[(&str, HistSnapshot)],
+    frames: &[Frame],
+) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    fs::write(path, trace_json(workload, spans, flows, stages))
+    fs::write(path, trace_json(workload, spans, flows, stages, frames))
 }
 
 fn trace_json(
@@ -229,6 +405,7 @@ fn trace_json(
     spans: &[SpanEvent],
     flows: &[FlowEvent],
     stages: &[(&str, HistSnapshot)],
+    frames: &[Frame],
 ) -> String {
     let mut s = String::with_capacity(256 + spans.len() * 128 + flows.len() * 48);
     let _ = write!(
@@ -278,44 +455,44 @@ fn trace_json(
             micros(e.ts_ns),
         );
     }
+    // Counter tracks: one sample per frame, so viewers plot the windowed
+    // delivery/aggregation rates alongside the span timeline.
+    for f in frames {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let w = &f.deltas.wire;
+        let _ = write!(
+            s,
+            "\n  {{\"name\": \"wire_rate\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": {}, \
+             \"args\": {{\"delivered\": {}, \"retransmits\": {}, \"bytes_delivered\": {}}}}},\
+             \n  {{\"name\": \"runtime_rate\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": {}, \
+             \"args\": {{\"preadys\": {}, \"aggregated_wrs\": {}}}}}",
+            micros(f.t_ns),
+            w.delivered,
+            w.retransmits,
+            w.bytes_delivered,
+            micros(f.t_ns),
+            f.deltas.runtime.preadys,
+            f.deltas.runtime.aggregated_wrs,
+        );
+    }
     s.push_str("\n],\n\"flows\": [");
     for (i, e) in flows.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(
-            s,
-            "\n  [{}, \"{}\", {}, {}, {}, {}]",
-            e.flow,
-            e.stage.name(),
-            e.ts_ns,
-            e.qp,
-            e.chan,
-            e.aux,
-        );
+        s.push_str("\n  ");
+        push_flow_tuple(&mut s, e);
     }
-    s.push_str("\n],\n\"stages\": {");
-    for (i, (name, snap)) in stages.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let _ = write!(
-            s,
-            "\n  \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
-            escape(name),
-            snap.count,
-            snap.sum,
-            snap.max,
-        );
-        for (j, b) in snap.buckets.iter().enumerate() {
-            if j > 0 {
-                s.push_str(", ");
-            }
-            let _ = write!(s, "[{}, {}, {}]", b.lo, b.hi, b.count);
-        }
-        s.push_str("]}");
+    s.push_str("\n],\n\"stages\": ");
+    push_stage_map(&mut s, stages, "  ");
+    if !frames.is_empty() {
+        s.push_str(",\n\"frames\": ");
+        s.push_str(&frames_json(frames));
     }
-    s.push_str("\n},\n\"displayTimeUnit\": \"ns\"}\n");
+    s.push_str(",\n\"displayTimeUnit\": \"ns\"}\n");
     s
 }
 
@@ -390,7 +567,7 @@ mod tests {
         let h = LogHistogram::new();
         h.record(800);
         let stages = vec![("wire_ns", h.snapshot())];
-        let text = trace_json("unit", &[], &flows, &stages);
+        let text = trace_json("unit", &[], &flows, &stages, &[]);
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
         assert!(text.contains("\"workload\": \"unit\""));
@@ -398,6 +575,59 @@ mod tests {
         assert!(text.contains("\"ph\": \"s\""));
         assert!(text.contains("\"ph\": \"f\""));
         assert!(text.contains("\"wire_ns\": {\"count\": 1"));
+    }
+
+    #[test]
+    fn trace_json_with_frames_is_balanced_and_has_counters() {
+        use crate::timeseries::{Frame, FrameGauge};
+        let mut deltas = Snapshot::default();
+        deltas.wire.delivered = 12;
+        deltas.runtime.preadys = 3;
+        let frames = vec![Frame {
+            seq: 0,
+            t_ns: 2_000,
+            span_ns: 2_000,
+            deltas,
+            stages: Vec::new(),
+            gauges: vec![FrameGauge {
+                name: "iters",
+                total: 5,
+                delta: 5,
+            }],
+        }];
+        let text = trace_json("unit", &[], &[], &[], &frames);
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces in:\n{text}"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(text.contains("\"frames\": ["));
+        assert!(text.contains("\"ph\": \"C\""));
+        assert!(text.contains("\"delivered\": 12"));
+        assert!(text.contains("\"iters\": {\"total\": 5, \"delta\": 5}"));
+    }
+
+    #[test]
+    fn flightrec_json_is_balanced() {
+        use crate::flow::{FlowEvent, FlowStage};
+        let flows = vec![FlowEvent {
+            flow: 1,
+            stage: FlowStage::Posted,
+            ts_ns: 10,
+            qp: 2,
+            chan: 0,
+            aux: 0,
+        }];
+        let text = flightrec_json("unit \"tag\"", "panic: boom", &[], &flows);
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces in:\n{text}"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(text.contains("\"reason\": \"panic: boom\""));
+        assert!(text.contains("[1, \"posted\", 10, 2, 0, 0]"));
     }
 
     #[test]

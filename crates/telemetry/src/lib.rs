@@ -25,10 +25,12 @@
 
 mod counters;
 mod expo;
+mod flightrec;
 mod flow;
 mod hist;
 mod json;
 mod snapshot;
+mod timeseries;
 mod trace;
 
 pub mod invariants;
@@ -37,13 +39,21 @@ pub use counters::{
     segments_for, ArenaCounters, Counter, CqCounters, QpCounters, Registry, RuntimeCounters,
     WireCounters, STATUS_NAMES, STATUS_SLOTS,
 };
-pub use expo::{exposition, write_exposition};
+pub use expo::{exposition, frame_exposition, write_exposition};
+pub use flightrec::FlightRecorder;
 pub use flow::{
     ClockHook, FlowEvent, FlowLog, FlowRecorder, FlowStage, StageHistograms, STAGE_HIST_NAMES,
 };
 pub use hist::{HistBucket, HistSnapshot, LogHistogram};
-pub use json::{write_chrome_trace, write_telemetry_json, write_trace_json};
+pub use json::{
+    flightrec_json, frames_json, write_chrome_trace, write_telemetry_json, write_trace_json,
+    write_trace_json_with_frames,
+};
 pub use snapshot::{
     ArenaSnapshot, CqSnapshot, QpSnapshot, RuntimeSnapshot, Snapshot, WireSnapshot,
+};
+pub use timeseries::{
+    hist_delta, snapshot_accum, snapshot_delta, stages_delta, Frame, FrameGauge, Sample,
+    SampleSource, Sampler, SamplerConfig,
 };
 pub use trace::{SpanEvent, SpanLog};

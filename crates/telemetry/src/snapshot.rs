@@ -4,7 +4,7 @@
 use crate::counters::STATUS_SLOTS;
 
 /// Frozen view of one queue pair's ledger plus its live state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QpSnapshot {
     /// Node that owns the QP.
     pub node: u32,
@@ -37,7 +37,7 @@ pub struct QpSnapshot {
 }
 
 /// Frozen view of one completion queue's ledger.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CqSnapshot {
     /// CQ identifier.
     pub cq_id: u32,
@@ -55,7 +55,7 @@ pub struct CqSnapshot {
 
 /// Frozen view of the wire ledger. Field meanings match
 /// [`crate::WireCounters`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct WireSnapshot {
     pub inner_submissions: u64,
@@ -80,7 +80,7 @@ pub struct WireSnapshot {
 
 /// Frozen view of the runtime ledger. Field meanings match
 /// [`crate::RuntimeCounters`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct RuntimeSnapshot {
     pub preadys: u64,
@@ -98,7 +98,7 @@ pub struct RuntimeSnapshot {
 
 /// Frozen view of the payload-arena ledger. Field meanings match
 /// [`crate::ArenaCounters`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct ArenaSnapshot {
     pub pool_gets: u64,
@@ -108,13 +108,104 @@ pub struct ArenaSnapshot {
     pub live_high_water: u64,
 }
 
+impl QpSnapshot {
+    /// The numeric fields as `(name, value)` pairs in export order (gauges
+    /// first, then the monotone counters), for tabular and JSON rendering.
+    pub fn counter_fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("outstanding", self.outstanding),
+            ("recv_queue_depth", self.recv_queue_depth),
+            ("send_posted", self.send_posted),
+            ("recv_posted", self.recv_posted),
+            ("recv_consumed", self.recv_consumed),
+            ("completed_success", self.completed_success),
+            ("completed_error", self.completed_error),
+            ("bytes_posted", self.bytes_posted),
+            ("bytes_completed", self.bytes_completed),
+            ("recoveries", self.recoveries),
+            ("slot_underflows", self.slot_underflows),
+        ]
+    }
+}
+
+impl CqSnapshot {
+    /// The scalar counters as `(name, value)` pairs in export order (the
+    /// per-status breakdown is rendered separately).
+    pub fn counter_fields(&self) -> [(&'static str, u64); 4] {
+        [
+            ("pushed_total", self.pushed_total),
+            ("polled", self.polled),
+            ("recv_pushed", self.recv_pushed),
+            ("recv_bytes", self.recv_bytes),
+        ]
+    }
+}
+
+impl WireSnapshot {
+    /// Every counter as a `(name, value)` pair in ledger order.
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
+        [
+            ("inner_submissions", self.inner_submissions),
+            ("retransmits", self.retransmits),
+            ("dropped", self.dropped),
+            ("duplicates_injected", self.duplicates_injected),
+            ("delayed", self.delayed),
+            ("exhausted", self.exhausted),
+            ("injected_faults", self.injected_faults),
+            ("rnr_requeues", self.rnr_requeues),
+            ("mtu_segments", self.mtu_segments),
+            ("delivery_attempts", self.delivery_attempts),
+            ("delivered", self.delivered),
+            ("delivered_ghost", self.delivered_ghost),
+            ("duplicates_suppressed", self.duplicates_suppressed),
+            ("remote_errors", self.remote_errors),
+            ("receiver_not_ready", self.receiver_not_ready),
+            ("length_errors", self.length_errors),
+            ("bytes_delivered", self.bytes_delivered),
+            ("recv_cqes", self.recv_cqes),
+        ]
+    }
+}
+
+impl RuntimeSnapshot {
+    /// Every counter as a `(name, value)` pair in ledger order.
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("preadys", self.preadys),
+            ("timer_fires", self.timer_fires),
+            ("aggregated_wrs", self.aggregated_wrs),
+            ("partitions_posted", self.partitions_posted),
+            ("pending_spills", self.pending_spills),
+            ("pending_reposts", self.pending_reposts),
+            ("recoveries", self.recoveries),
+            ("table_decisions", self.table_decisions),
+            ("table_fallback_decisions", self.table_fallback_decisions),
+            ("model_decisions", self.model_decisions),
+            ("fixed_decisions", self.fixed_decisions),
+        ]
+    }
+}
+
+impl ArenaSnapshot {
+    /// Every counter as a `(name, value)` pair in ledger order.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("pool_gets", self.pool_gets),
+            ("pool_hits", self.pool_hits),
+            ("pool_misses", self.pool_misses),
+            ("pool_returns", self.pool_returns),
+            ("live_high_water", self.live_high_water),
+        ]
+    }
+}
+
 /// A complete, self-consistent copy of every ledger in one network.
 ///
 /// Built by `NetworkState::telemetry_snapshot()` (verbs side), which walks
 /// the live QPs so `outstanding`/`recv_queue_depth`/`state` reflect the same
 /// instant as the counters. All invariant checking and export operates on
 /// this frozen form.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// One entry per live queue pair.
     pub qps: Vec<QpSnapshot>,

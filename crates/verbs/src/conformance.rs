@@ -405,30 +405,49 @@ pub fn assert_uniform(scenario: &Scenario) -> Vec<String> {
         match &reference {
             None => reference = Some((kind, digest)),
             Some((ref_kind, ref_digest)) => {
-                if *ref_digest != digest {
-                    let diff = diff_lines(ref_digest, &digest);
-                    panic!(
-                        "{}: digest mismatch between {} and {}:\n{}",
-                        scenario.name,
-                        ref_kind.name(),
-                        kind.name(),
-                        diff
-                    );
-                }
+                assert_digests_match(scenario.name, *ref_kind, ref_digest, kind, &digest);
             }
         }
     }
     reference.expect("at least one backend ran").1
 }
 
-fn diff_lines(a: &[String], b: &[String]) -> String {
+/// Assert two backends produced the same digest for `scenario`, panicking
+/// with the scenario name, **both diverging [`BackendKind`]s**, and a
+/// per-line diff (not the two raw digest dumps) on mismatch.
+pub fn assert_digests_match(
+    scenario: &str,
+    ref_kind: BackendKind,
+    ref_digest: &[String],
+    kind: BackendKind,
+    digest: &[String],
+) {
+    if ref_digest == digest {
+        return;
+    }
+    panic!(
+        "scenario {scenario}: digest mismatch — backend {} diverged from {} \
+         ({} vs {} lines):\n{}",
+        kind.name(),
+        ref_kind.name(),
+        digest.len(),
+        ref_digest.len(),
+        diff_lines(ref_kind, ref_digest, kind, digest),
+    );
+}
+
+fn diff_lines(a_kind: BackendKind, a: &[String], b_kind: BackendKind, b: &[String]) -> String {
     let mut out = String::new();
     let n = a.len().max(b.len());
     for i in 0..n {
         let left = a.get(i).map(String::as_str).unwrap_or("<absent>");
         let right = b.get(i).map(String::as_str).unwrap_or("<absent>");
         if left != right {
-            out.push_str(&format!("  line {i}:\n    - {left}\n    + {right}\n"));
+            out.push_str(&format!(
+                "  line {i}:\n    - [{}] {left}\n    + [{}] {right}\n",
+                a_kind.name(),
+                b_kind.name()
+            ));
         }
     }
     out
@@ -1225,7 +1244,12 @@ fn s_sequential_stream(kind: BackendKind) -> Vec<String> {
         )
         .expect("post");
         let swc = bed.await_wc(&a.send_cq, "send CQE");
-        assert_eq!(swc.status, WcStatus::Success, "stream wr {i}");
+        assert_eq!(
+            swc.status,
+            WcStatus::Success,
+            "sequential_stream wr {i} on {}",
+            bed.kind.name()
+        );
         let _ = bed.await_wc(&b.recv_cq, "recv CQE");
         for &byte in &dst.read_vec(0, 64).expect("read") {
             running ^= byte as u64;

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use partix_telemetry::{segments_for, FlowStage};
+use partix_telemetry::{segments_for, FlowStage, Sampler};
 
 use crate::buf::{InlineVec, PooledBuf};
 use crate::fabric::{
@@ -193,6 +193,9 @@ struct ShmStats {
     rnr_deferrals: AtomicU64,
     stale_acks: AtomicU64,
     ring_full_stalls: AtomicU64,
+    progress_iterations: AtomicU64,
+    progress_wakeups: AtomicU64,
+    ring_occupancy_high_water: AtomicU64,
 }
 
 /// Mutable progress-engine state, under one lock: the sender's
@@ -217,6 +220,9 @@ pub struct ShmFabric {
     progress_thread: Mutex<Option<std::thread::Thread>>,
     data_seq: AtomicU64,
     stats: ShmStats,
+    /// Wall-clock sampler ticked by the progress thread, paired with the
+    /// instant it was attached (its t = 0).
+    sampler: OnceLock<(Arc<Sampler>, Instant)>,
     me: Weak<ShmFabric>,
 }
 
@@ -256,6 +262,7 @@ impl ShmFabric {
             progress_thread: Mutex::new(None),
             data_seq: AtomicU64::new(0),
             stats: ShmStats::default(),
+            sampler: OnceLock::new(),
             me: me.clone(),
         });
         let weak = fabric.me.clone();
@@ -324,6 +331,47 @@ impl ShmFabric {
     /// Times a submit had to wait for ring space (backpressure events).
     pub fn ring_full_stalls(&self) -> u64 {
         self.stats.ring_full_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Progress-thread loop iterations (each is one full scan of every
+    /// channel plus timer service).
+    pub fn progress_iterations(&self) -> u64 {
+        self.stats.progress_iterations.load(Ordering::Relaxed)
+    }
+
+    /// Times the progress thread woke from an idle park (unparked by a
+    /// submit or a timer deadline).
+    pub fn progress_wakeups(&self) -> u64 {
+        self.stats.progress_wakeups.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of DATA-ring occupancy in bytes, across every
+    /// channel this process consumes, as observed by the progress thread.
+    pub fn ring_occupancy_high_water(&self) -> u64 {
+        self.stats.ring_occupancy_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Attach a wall-clock [`Sampler`]: the progress thread ticks it with
+    /// nanoseconds elapsed since this call, so frames capture windows of
+    /// real time. One sampler per fabric; later calls are ignored.
+    pub fn attach_sampler(&self, sampler: Arc<Sampler>) {
+        let _ = self.sampler.set((sampler, Instant::now()));
+    }
+
+    /// The fabric-level gauges a composed [`Sample`](partix_telemetry::Sample)
+    /// source should carry: progress-loop activity and ring occupancy.
+    pub fn sample_gauges(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("progress_iterations", self.progress_iterations()),
+            ("progress_wakeups", self.progress_wakeups()),
+            (
+                "ring_occupancy_high_water",
+                self.ring_occupancy_high_water(),
+            ),
+            ("ring_full_stalls", self.ring_full_stalls()),
+            ("rnr_deferrals", self.rnr_deferrals()),
+            ("stale_acks", self.stale_acks()),
+        ]
     }
 
     /// Whether nothing is in flight on this fabric: every consumable ring
@@ -827,11 +875,17 @@ fn progress_loop(me: Weak<ShmFabric>) {
         let shutting_down = fab.shutdown.load(Ordering::Acquire);
         let net = fab.net.get().and_then(|w| w.upgrade());
         let mut did_work = false;
+        fab.stats
+            .progress_iterations
+            .fetch_add(1, Ordering::Relaxed);
 
         if let Some(net) = &net {
             let channels: Vec<Arc<Channel>> = fab.channels.lock().clone();
             for ch in &channels {
                 if ch.we_recv {
+                    fab.stats
+                        .ring_occupancy_high_water
+                        .fetch_max(ch.data.len(), Ordering::Relaxed);
                     while let Popped::Record(kind) = ch.data.try_pop(&mut scratch) {
                         debug_assert_eq!(kind, KIND_DATA);
                         fab.stats.data_records.fetch_add(1, Ordering::Relaxed);
@@ -852,6 +906,10 @@ fn progress_loop(me: Weak<ShmFabric>) {
             did_work |= fab.service_timeouts(net);
         }
 
+        if let Some((sampler, epoch)) = fab.sampler.get() {
+            sampler.tick(epoch.elapsed().as_nanos() as u64);
+        }
+
         if shutting_down {
             // Final drain: leave only once everything consumable is quiet
             // (or the fabric is being torn down with the network gone).
@@ -864,6 +922,10 @@ fn progress_loop(me: Weak<ShmFabric>) {
             let park = fab.next_deadline_in().unwrap_or(fab.cfg.idle_park);
             drop(fab); // don't hold the Arc while parked: Drop must be able to join us
             std::thread::park_timeout(park);
+            // The fabric may have been dropped while we were parked.
+            if let Some(fab) = me.upgrade() {
+                fab.stats.progress_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -1337,6 +1399,56 @@ mod tests {
             dst.read_vec(0, 32).unwrap(),
             b"partitioned aggregation over shm".to_vec()
         );
+        assert_clean(&p);
+        p.fabric.shutdown();
+    }
+
+    #[test]
+    fn wall_clock_sampler_captures_frames_from_the_progress_thread() {
+        use partix_telemetry::{Sample, SampleSource, SamplerConfig};
+        let p = pair(ShmConfig::default(), QpCaps::default());
+        let net = p.net.state().clone();
+        let fab = p.fabric.clone();
+        let source: SampleSource = Arc::new(move || Sample {
+            snapshot: net.telemetry_snapshot(),
+            stages: Vec::new(),
+            gauges: fab.sample_gauges(),
+        });
+        let sampler = Sampler::new(
+            SamplerConfig {
+                interval_ns: 100_000, // 100 µs windows on the wall clock
+                capacity: 64,
+                deterministic: false,
+            },
+            source,
+        );
+        p.fabric.attach_sampler(sampler.clone());
+        let src = p.a.reg_mr(p.pda, 64).unwrap();
+        let dst = p.b.reg_mr(p.pdb, 64).unwrap();
+        for i in 0..4u64 {
+            src.fill(0, 64, i as u8 + 1).unwrap();
+            p.qb.post_recv(RecvWr::bare(300 + i)).unwrap();
+            write_with_imm(&p, &src, &dst, i, 64);
+            let _ = poll_until(&p.cqa, "send CQE");
+            let _ = poll_until(&p.cqb, "recv CQE");
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sampler.frames_captured() == 0 {
+            assert!(Instant::now() < deadline, "progress thread never sampled");
+            std::thread::yield_now();
+        }
+        let frames = sampler.frames();
+        let gauges: Vec<&str> = frames
+            .last()
+            .unwrap()
+            .gauges
+            .iter()
+            .map(|g| g.name)
+            .collect();
+        assert!(gauges.contains(&"progress_iterations"));
+        assert!(gauges.contains(&"ring_occupancy_high_water"));
+        assert!(p.fabric.progress_iterations() > 0);
         assert_clean(&p);
         p.fabric.shutdown();
     }

@@ -258,12 +258,29 @@ pub fn run_fullstack_observed(
     executor: Executor,
     flow_log: Option<Arc<partix_core::telemetry::FlowLog>>,
 ) -> (FullStackReport, World, Scheduler) {
+    run_fullstack_instrumented(cfg, executor, flow_log, None)
+}
+
+/// [`run_fullstack_observed`] with optional time-series sampling: when
+/// `sampling` is `Some((interval, capacity))` the world captures a delta
+/// frame every `interval` of virtual time (last `capacity` retained),
+/// harvestable after the run via [`World::sampler`]. Frames are driven at
+/// epoch barriers, so the sequence is byte-identical across executors.
+pub fn run_fullstack_instrumented(
+    cfg: &FullStackConfig,
+    executor: Executor,
+    flow_log: Option<Arc<partix_core::telemetry::FlowLog>>,
+    sampling: Option<(SimDuration, usize)>,
+) -> (FullStackReport, World, Scheduler) {
     let (world, sched) = match executor {
         Executor::Reference => World::sim_sharded_reference(cfg.ranks, cfg.partix.clone()),
         Executor::Sharded(jobs) => World::sim_sharded(cfg.ranks, cfg.partix.clone(), jobs),
     };
     if let Some(log) = flow_log {
         world.enable_flow_tracing(log);
+    }
+    if let Some((interval, capacity)) = sampling {
+        world.enable_sampling(interval, capacity);
     }
     let lookahead = sched.sharded_lookahead().expect("sharded scheduler");
 
@@ -379,6 +396,26 @@ mod tests {
         assert_eq!(a.ledger_digest, b.ledger_digest);
         assert_eq!(a.events, b.events);
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn sampled_frames_are_identical_across_executors() {
+        use partix_core::telemetry::frames_json;
+        let cfg = FullStackConfig::figure(4, 23);
+        let sampling = Some((SimDuration::from_micros(100), 512));
+        let frames_for = |exec: Executor| {
+            let (_, world, _) = run_fullstack_instrumented(&cfg, exec, None, sampling);
+            frames_json(&world.sampler().expect("sampling enabled").frames())
+        };
+        let want = frames_for(Executor::Reference);
+        assert!(want.contains("\"seq\""), "reference run captured no frames");
+        for jobs in [1, 4] {
+            assert_eq!(
+                frames_for(Executor::Sharded(jobs)),
+                want,
+                "jobs={jobs} frame stream diverged from reference"
+            );
+        }
     }
 
     #[test]

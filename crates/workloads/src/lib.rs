@@ -68,10 +68,12 @@ pub mod tuning_search;
 
 pub use fault_sweep::{FaultCell, FaultSweep};
 pub use fullstack::{
-    run_fullstack, run_fullstack_observed, Executor, FullStackConfig, FullStackReport,
+    run_fullstack, run_fullstack_instrumented, run_fullstack_observed, Executor, FullStackConfig,
+    FullStackReport,
 };
 pub use noise::{NoiseModel, ThreadTiming};
 pub use runner::{
-    run_pt2pt, run_pt2pt_observed, run_pt2pt_with_sink, Pt2PtConfig, Pt2PtResult, RoundSample,
+    run_pt2pt, run_pt2pt_instrumented, run_pt2pt_observed, run_pt2pt_with_sink, Pt2PtConfig,
+    Pt2PtResult, RoundSample,
 };
-pub use traced::{run_traced, TraceArtifacts};
+pub use traced::{run_traced, run_traced_sampled, TraceArtifacts};

@@ -26,7 +26,9 @@
 //! end-to-end determinism check between executors and job counts.
 
 use partix_model::LogGpParams;
-use partix_sim::pdes::{Pdes, PdesConfig, PdesNode, PdesReport, ShardCtx, ShardLogic, ShardMap};
+use partix_sim::pdes::{
+    Pdes, PdesConfig, PdesNode, PdesReport, PdesShardStat, ShardCtx, ShardLogic, ShardMap,
+};
 use partix_sim::{SimDuration, SimTime};
 
 /// Parameters of one PDES workload run.
@@ -89,10 +91,12 @@ impl PdesWorkloadConfig {
     }
 }
 
-/// Deterministic result of a PDES workload run: the engine report plus the
-/// order-sensitive model digest. Executors and job counts must agree on
-/// [`Self::deterministic_parts`] byte for byte.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Result of a PDES workload run: the engine report plus the
+/// order-sensitive model digest, and per-shard execution diagnostics.
+/// Executors and job counts must agree on [`Self::deterministic_parts`]
+/// byte for byte; the diagnostics (barrier wait is wall-clock, mailbox
+/// high-water depends on interleaving) are explicitly outside that key.
+#[derive(Clone, Debug, PartialEq)]
 pub struct PdesOutcome {
     /// Ranks actually simulated (sweep rounds to a full grid).
     pub nodes: u32,
@@ -100,6 +104,11 @@ pub struct PdesOutcome {
     pub report: PdesReport,
     /// Order-sensitive FNV fold of final model state.
     pub digest: u64,
+    /// Per-shard diagnostics, in shard order.
+    pub shard_stats: Vec<PdesShardStat>,
+    /// Wall-clock ns workers spent blocked on epoch barriers (0 on the
+    /// reference executor).
+    pub barrier_wait_ns: u64,
 }
 
 impl PdesOutcome {
@@ -268,6 +277,8 @@ pub fn run_fanin(cfg: &PdesWorkloadConfig, jobs: Option<usize>) -> PdesOutcome {
         None => pdes.run_reference(),
         Some(j) => pdes.run(j),
     };
+    let shard_stats = pdes.shard_stats();
+    let barrier_wait_ns = pdes.barrier_wait_ns();
     let logics = pdes.into_logics();
     let mut digest = FNV_OFFSET;
     for logic in &logics {
@@ -283,6 +294,8 @@ pub fn run_fanin(cfg: &PdesWorkloadConfig, jobs: Option<usize>) -> PdesOutcome {
         nodes: ranks,
         report,
         digest,
+        shard_stats,
+        barrier_wait_ns,
     }
 }
 
@@ -429,6 +442,8 @@ pub fn run_sweep(cfg: &PdesWorkloadConfig, jobs: Option<usize>) -> PdesOutcome {
         None => pdes.run_reference(),
         Some(j) => pdes.run(j),
     };
+    let shard_stats = pdes.shard_stats();
+    let barrier_wait_ns = pdes.barrier_wait_ns();
     let logics = pdes.into_logics();
     let mut digest = FNV_OFFSET;
     for logic in &logics {
@@ -447,6 +462,8 @@ pub fn run_sweep(cfg: &PdesWorkloadConfig, jobs: Option<usize>) -> PdesOutcome {
         nodes: nodes_total,
         report,
         digest,
+        shard_stats,
+        barrier_wait_ns,
     }
 }
 
@@ -493,6 +510,25 @@ mod tests {
                 "sweep diverged at jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn shard_diagnostics_cover_the_run() {
+        let cfg = small(300);
+        let reference = run_fanin(&cfg, None);
+        assert_eq!(reference.shard_stats.len(), cfg.shards as usize);
+        let total: u64 = reference.shard_stats.iter().map(|s| s.events).sum();
+        assert_eq!(total, reference.report.events);
+        // The reference executor never blocks on a barrier.
+        assert_eq!(reference.barrier_wait_ns, 0);
+        // Per-shard event counts are virtual-time facts: the parallel
+        // engine must reproduce them exactly.
+        let par = run_fanin(&cfg, Some(4));
+        let events =
+            |o: &PdesOutcome| -> Vec<u64> { o.shard_stats.iter().map(|s| s.events).collect() };
+        assert_eq!(events(&par), events(&reference));
+        let ratio = partix_sim::pdes::imbalance_ratio(&reference.shard_stats);
+        assert!(ratio >= 1.0, "events ran but ratio is {ratio}");
     }
 
     #[test]

@@ -231,6 +231,20 @@ pub fn run_pt2pt_observed(
     span_log: Option<Arc<partix_core::SpanLog>>,
     flow_log: Option<Arc<partix_core::telemetry::FlowLog>>,
 ) -> (Pt2PtResult, World) {
+    run_pt2pt_instrumented(cfg, sink, span_log, flow_log, None)
+}
+
+/// [`run_pt2pt_observed`] with optional time-series sampling: when
+/// `sampling` is `Some((interval, capacity))` the world captures a delta
+/// frame every `interval` of virtual time, harvestable after the run via
+/// [`World::sampler`].
+pub fn run_pt2pt_instrumented(
+    cfg: &Pt2PtConfig,
+    sink: Option<Arc<dyn partix_core::EventSink>>,
+    span_log: Option<Arc<partix_core::SpanLog>>,
+    flow_log: Option<Arc<partix_core::telemetry::FlowLog>>,
+    sampling: Option<(partix_core::SimDuration, usize)>,
+) -> (Pt2PtResult, World) {
     let (world, sched) = World::sim(2, cfg.partix.clone());
     if let Some(s) = sink {
         world.set_event_sink(s);
@@ -240,6 +254,9 @@ pub fn run_pt2pt_observed(
     }
     if let Some(log) = flow_log {
         world.enable_flow_tracing(log);
+    }
+    if let Some((interval, capacity)) = sampling {
+        world.enable_sampling(interval, capacity);
     }
     let p0 = world.proc(0);
     let p1 = world.proc(1);

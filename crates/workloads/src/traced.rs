@@ -21,12 +21,12 @@ use std::path::Path;
 use std::sync::Arc;
 
 use partix_core::telemetry::{
-    write_telemetry_json, write_trace_json, FlowEvent, FlowLog, HistSnapshot,
+    write_telemetry_json, write_trace_json_with_frames, FlowEvent, FlowLog, Frame, HistSnapshot,
 };
-use partix_core::{invariants, Snapshot, SpanEvent, SpanLog};
+use partix_core::{invariants, SimDuration, Snapshot, SpanEvent, SpanLog};
 use partix_profiler::{assemble_chains, chrome_spans, Profiler};
 
-use crate::runner::{run_pt2pt_observed, Pt2PtConfig, Pt2PtResult};
+use crate::runner::{run_pt2pt_instrumented, Pt2PtConfig, Pt2PtResult};
 
 /// Everything one traced run produces.
 pub struct TraceArtifacts {
@@ -43,6 +43,9 @@ pub struct TraceArtifacts {
     pub flows: Vec<FlowEvent>,
     /// Per-stage residency histogram snapshots.
     pub stages: Vec<(&'static str, HistSnapshot)>,
+    /// Windowed time-series frames, when sampling was enabled (empty
+    /// otherwise).
+    pub frames: Vec<Frame>,
 }
 
 impl TraceArtifacts {
@@ -55,12 +58,13 @@ impl TraceArtifacts {
             &self.snapshot,
             &self.report,
         )?;
-        write_trace_json(
+        write_trace_json_with_frames(
             &dir.join(format!("trace_{tag}.json")),
             tag,
             &self.spans,
             &self.flows,
             &self.stages,
+            &self.frames,
         )
     }
 
@@ -77,14 +81,25 @@ impl TraceArtifacts {
 
 /// Run `cfg` with full observability attached.
 pub fn run_traced(cfg: &Pt2PtConfig) -> TraceArtifacts {
+    run_traced_sampled(cfg, None)
+}
+
+/// [`run_traced`] with optional time-series sampling
+/// (`Some((interval, capacity))`): the trace file gains per-window counter
+/// events and a `"frames"` array of ledger deltas.
+pub fn run_traced_sampled(
+    cfg: &Pt2PtConfig,
+    sampling: Option<(SimDuration, usize)>,
+) -> TraceArtifacts {
     let profiler = Arc::new(Profiler::new());
     let log = SpanLog::new();
     let flow_log = FlowLog::new();
-    let (result, world) = run_pt2pt_observed(
+    let (result, world) = run_pt2pt_instrumented(
         cfg,
         Some(profiler.clone()),
         Some(log.clone()),
         Some(flow_log.clone()),
+        sampling,
     );
     let snapshot = world.telemetry_snapshot();
     let report = invariants::check(&snapshot);
@@ -93,6 +108,13 @@ pub fn run_traced(cfg: &Pt2PtConfig) -> TraceArtifacts {
     spans.sort_by_key(|s| (s.ts_ns, s.pid, s.tid));
     let flows = flow_log.sorted();
     let stages = world.telemetry().flows.stages.snapshot();
+    let now_ns = world.now().as_nanos();
+    let frames = world.sampler().map_or_else(Vec::new, |s| {
+        // Close the final partial window so the frame stream covers the
+        // whole run.
+        s.capture(now_ns);
+        s.frames()
+    });
     TraceArtifacts {
         result,
         snapshot,
@@ -100,6 +122,7 @@ pub fn run_traced(cfg: &Pt2PtConfig) -> TraceArtifacts {
         spans,
         flows,
         stages,
+        frames,
     }
 }
 
@@ -168,6 +191,31 @@ mod tests {
             .map(|r| r.total().as_nanos())
             .collect();
         assert_eq!(t1, t2, "observability must not perturb virtual time");
+    }
+
+    #[test]
+    fn sampled_run_produces_frames_that_sum_to_the_snapshot() {
+        use partix_core::telemetry::snapshot_accum;
+        let art = run_traced_sampled(
+            &cfg(AggregatorKind::TimerPLogGp),
+            Some((SimDuration::from_micros(50), 256)),
+        );
+        assert!(!art.frames.is_empty(), "sampling produced no frames");
+        // Accumulating every delta frame reproduces the final cumulative
+        // ledger (modulo the determinism scrub of arena pool counters).
+        let mut acc = Snapshot::default();
+        for f in &art.frames {
+            snapshot_accum(&mut acc, &f.deltas);
+        }
+        assert_eq!(acc.wire.delivered, art.snapshot.wire.delivered);
+        assert_eq!(acc.runtime.preadys, art.snapshot.runtime.preadys);
+        // Frames ride into the trace file.
+        let dir = std::env::temp_dir().join(format!("partix-frames-test-{}", std::process::id()));
+        art.write_to(&dir, "sampled").unwrap();
+        let tr = std::fs::read_to_string(dir.join("trace_sampled.json")).unwrap();
+        assert!(tr.contains("\"frames\""));
+        assert!(tr.contains("\"ph\": \"C\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ledger counters) are byte-identical across the matrix. Scenarios also
 //! self-check the telemetry invariant laws per backend.
 
-use partix_verbs::conformance::{assert_uniform, scenarios, BackendKind};
+use partix_verbs::conformance::{assert_digests_match, assert_uniform, scenarios, BackendKind};
 
 fn run(name: &str) {
     let table = scenarios();
@@ -57,10 +57,14 @@ fn sharded_executor_digests_match_sequential_sim() {
     for s in &scenarios() {
         let sequential = (s.run)(BackendKind::Sim);
         let sharded = (s.run)(BackendKind::SimSharded);
-        assert_eq!(
-            sequential, sharded,
-            "scenario {}: sharded executor digest diverged from sequential sim",
-            s.name
+        // Names the scenario and both backends with a per-line diff on
+        // failure, instead of dumping the two raw digest vectors.
+        assert_digests_match(
+            s.name,
+            BackendKind::Sim,
+            &sequential,
+            BackendKind::SimSharded,
+            &sharded,
         );
     }
 }
